@@ -1,0 +1,27 @@
+"""Figure 2 — convergence of the σ²_λ terms T1, T2, T3 with q.
+
+Regenerates the analytic sweep behind Figure 2 and checks the limits stated
+by Equations 4–7: T2 and T3 vanish and the overall variance stays bounded as
+q grows.
+"""
+
+import numpy as np
+
+from repro.experiments import figure2_theory_terms
+
+
+def test_fig2_theory_terms(run_once):
+    def regenerate():
+        return figure2_theory_terms(np.linspace(1.0, 100.0, 100))
+
+    table, text = run_once(regenerate)
+    print("\n" + "\n".join(text.splitlines()[:12]) + "\n...")
+
+    assert table["q"].shape == (100,)
+    # Equations 5 and 6: the last values of T2 and T3 are negligible.
+    assert abs(table["T2"][-1]) < 0.05
+    assert abs(table["T3"][-1]) < 0.05
+    # Equation 7: the total (and hence T1) stays bounded over the whole sweep.
+    total = table["T1"] + table["T2"] + table["T3"]
+    assert np.all(np.isfinite(total))
+    assert total.max() < 10.0

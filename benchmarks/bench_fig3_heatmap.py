@@ -1,0 +1,39 @@
+"""Figure 3 — BoostHD accuracy heatmap over (N_L, D).
+
+Panel (a): each weak learner keeps the listed dimensionality.
+Panel (b): the listed dimensionality is D_total, split across the learners —
+this is the panel that collapses when D_total / N_L becomes too small (the
+paper's N_L = 100, D_total = 1 K example).
+"""
+
+import numpy as np
+
+from repro.experiments import figure3_heatmap
+
+
+def test_fig3_heatmap_total_dim(run_once, wesad):
+    learner_counts = (1, 2, 5, 10, 25, 50)
+    dims = (500, 1000)
+
+    def regenerate():
+        return figure3_heatmap(
+            wesad,
+            mode="total",
+            learner_counts=learner_counts,
+            dims=dims,
+            epochs=5,
+            seed=0,
+        )
+
+    result, text = run_once(regenerate)
+    print("\n" + text)
+
+    assert result.accuracy.shape == (len(learner_counts), len(dims))
+    valid = result.accuracy[np.isfinite(result.accuracy)]
+    assert np.all((valid >= 0) & (valid <= 1))
+    # The paper's instability claim: with D_total fixed, pushing N_L so high
+    # that each learner gets only a handful of dimensions hurts accuracy
+    # relative to a moderate ensemble size.
+    moderate = result.cell(10, 1000)
+    extreme = result.cell(50, 500)
+    assert extreme <= moderate + 0.05

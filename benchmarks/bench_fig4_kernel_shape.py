@@ -1,0 +1,30 @@
+"""Figure 4 — kernel transformation: circularity and encoded-data spread vs D.
+
+The paper illustrates that a very high-dimensional Gaussian kernel becomes
+circular (minor/major axis ratio → 1) and spreads the data thinly, whereas a
+moderate dimensionality preserves more input structure per dimension.  This
+benchmark measures both effects on real encoders.
+"""
+
+from repro.experiments import figure4_kernel_shape
+
+
+def test_fig4_kernel_shape(run_once, wesad):
+    dims = (400, 4000)
+
+    def regenerate():
+        return figure4_kernel_shape(wesad, dims=dims, seed=0)
+
+    reports, text = run_once(regenerate)
+    print("\n" + text)
+
+    small, large = reports[400], reports[4000]
+    # Circularity grows with D (Figure 4's (b) vs (c) panels).
+    assert large["shape"].empirical_axis_ratio > small["shape"].empirical_axis_ratio
+    # And the per-dimension participation of the encoded data shrinks.
+    assert (
+        large["spread"]["participation_ratio"] <= small["spread"]["participation_ratio"] + 1e-6
+    )
+    # The empirical spectrum respects the Marchenko–Pastur band (within noise).
+    for report in (small, large):
+        assert report["shape"].empirical_sv_max <= report["shape"].theoretical_sv_max * 1.2

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable installs
+fail with ``invalid command 'bdist_wheel'``.  This ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` perform a legacy
+develop install; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

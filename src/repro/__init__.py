@@ -1,0 +1,45 @@
+"""BoostHD reproduction: boosting in hyperdimensional computing for healthcare.
+
+This package reproduces *"Exploiting Boosting in Hyperdimensional Computing
+for Enhanced Reliability in Healthcare"* (DATE 2025) end to end on plain
+``numpy``:
+
+* :mod:`repro.hdc` — hyperdimensional-computing substrate (encoders,
+  hypervector algebra, the OnlineHD classifier used as the weak learner),
+* :mod:`repro.core` — the BoostHD ensemble itself plus the paper's span
+  utilization and Marchenko–Pastur analyses,
+* :mod:`repro.baselines` — from-scratch AdaBoost, Random Forest, gradient
+  boosting, SVM and DNN baselines with a shared estimator API,
+* :mod:`repro.data` — synthetic wearable stress-detection datasets standing in
+  for WESAD / Nurse Stress / Stress-Predict, plus the imbalance and bit-flip
+  perturbations the evaluation uses,
+* :mod:`repro.analysis` and :mod:`repro.experiments` — the harness that
+  regenerates every table and figure of the evaluation section.
+
+Quick start::
+
+    from repro import BoostHD, load_wesad
+
+    dataset = load_wesad()
+    X_train, X_test, y_train, y_test = dataset.split(rng=0)
+    model = BoostHD(total_dim=1000, n_learners=10, seed=0).fit(X_train, y_train)
+    print(model.score(X_test, y_test))
+"""
+
+from .core import BaggedHD, BoostHD
+from .data import load_nurse_stress, load_stress_predict, load_wesad
+from .hdc import CentroidHD, NonlinearEncoder, OnlineHD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaggedHD",
+    "BoostHD",
+    "load_nurse_stress",
+    "load_stress_predict",
+    "load_wesad",
+    "CentroidHD",
+    "NonlinearEncoder",
+    "OnlineHD",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Imbalance induction for the overfitting experiment (Figure 7, Eq. 8).
+
+The paper intentionally induces overfitting by shrinking the training data of
+every class *except* a chosen target class:
+
+.. math::
+
+   D = \\begin{cases} x & \\text{if } y = C_{target} \\\\ x \\times r & \\text{if } y \\ne C_{target} \\end{cases}
+
+i.e. non-target classes keep only a fraction ``r`` of their samples (the
+paper sweeps ``r`` downward, so small ``r`` means severe imbalance).  Macro
+accuracy is then used so minority-class collapse is visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["imbalance_indices", "make_imbalanced"]
+
+
+def imbalance_indices(
+    y: np.ndarray,
+    target_class: object,
+    keep_fraction: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Indices implementing Equation 8.
+
+    All samples of ``target_class`` are kept; every other class keeps a
+    random ``keep_fraction`` of its samples (at least one, so no class
+    disappears entirely).
+
+    Parameters
+    ----------
+    y:
+        Label array.
+    target_class:
+        The class whose samples are all retained (``C_target``).
+    keep_fraction:
+        The retention ratio ``r`` in ``[0, 1]`` applied to non-target classes.
+    rng:
+        Seed or generator controlling which samples are dropped.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1], got {keep_fraction}")
+    y = np.asarray(y)
+    if target_class not in np.unique(y):
+        raise ValueError(f"target_class {target_class!r} not present in y")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    kept: list[np.ndarray] = []
+    for label in np.unique(y):
+        indices = np.flatnonzero(y == label)
+        if label == target_class or keep_fraction >= 1.0:
+            kept.append(indices)
+            continue
+        count = max(1, int(round(keep_fraction * len(indices))))
+        kept.append(generator.choice(indices, size=count, replace=False))
+    return np.sort(np.concatenate(kept))
+
+
+def make_imbalanced(
+    X: np.ndarray,
+    y: np.ndarray,
+    target_class: object,
+    keep_fraction: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the imbalanced ``(X, y)`` pair defined by Equation 8."""
+    indices = imbalance_indices(y, target_class, keep_fraction, rng=rng)
+    return np.asarray(X)[indices], np.asarray(y)[indices]

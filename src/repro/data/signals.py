@@ -1,0 +1,291 @@
+"""Synthetic wearable physiological-signal models.
+
+The paper evaluates on recordings from wrist/chest wearables (Empatica E4,
+RespiBAN): blood volume pulse (BVP), electrodermal activity (EDA),
+electrocardiogram (ECG), electromyogram (EMG), respiration (RESP), skin
+temperature (TEMP) and 3-axis acceleration (ACC).  Those datasets cannot be
+downloaded in this offline environment, so this module provides a generative
+substitute with the structure the experiments rely on:
+
+* each *affective state* (class) has its own physiological operating point
+  (heart rate, sympathetic arousal, muscle tension, respiration rate, skin
+  temperature, movement level),
+* each *subject* perturbs that operating point with a persistent personal
+  offset (so subject-wise train/test splits are genuinely harder than random
+  splits and demographic groups behave differently),
+* each *window* contains realistic waveform shapes (pulsatile BVP, spiky ECG,
+  tonic+phasic EDA, amplitude-modulated EMG noise, slow temperature drift,
+  band-limited accelerometer noise) plus measurement noise.
+
+The resulting windows feed the same moving-average + statistical-feature
+pipeline the paper applies to the real recordings
+(:mod:`repro.data.features`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CHANNELS",
+    "StatePhysiology",
+    "SubjectPhysiology",
+    "SignalSimulator",
+    "WESAD_STATES",
+    "STRESS_LEVEL_STATES",
+]
+
+#: Channel order used by every synthetic dataset in this repository.
+CHANNELS: tuple[str, ...] = ("BVP", "ECG", "EDA", "EMG", "RESP", "TEMP", "ACC")
+
+
+@dataclass(frozen=True)
+class StatePhysiology:
+    """Physiological operating point of one affective state.
+
+    Attributes
+    ----------
+    name:
+        Label of the state (e.g. ``"stress"``).
+    heart_rate:
+        Mean heart rate in beats per minute.
+    heart_rate_variability:
+        Standard deviation of beat-to-beat rate fluctuation (bpm).
+    eda_level:
+        Tonic skin-conductance level in microsiemens.
+    eda_responses_per_minute:
+        Expected rate of phasic skin-conductance responses.
+    emg_amplitude:
+        Muscle-tension amplitude (arbitrary units).
+    respiration_rate:
+        Breaths per minute.
+    temperature:
+        Mean skin temperature in Celsius.
+    movement:
+        Accelerometer activity level (g).
+    """
+
+    name: str
+    heart_rate: float
+    heart_rate_variability: float
+    eda_level: float
+    eda_responses_per_minute: float
+    emg_amplitude: float
+    respiration_rate: float
+    temperature: float
+    movement: float
+
+
+#: The three WESAD affective states (neutral/baseline, stress, amusement).
+WESAD_STATES: tuple[StatePhysiology, ...] = (
+    StatePhysiology("baseline", 68.0, 3.0, 2.0, 1.5, 0.18, 14.0, 33.8, 0.05),
+    StatePhysiology("stress", 88.0, 6.0, 6.5, 6.0, 0.45, 19.0, 33.0, 0.12),
+    StatePhysiology("amusement", 75.0, 4.5, 3.5, 3.0, 0.27, 16.0, 33.5, 0.09),
+)
+
+#: The reduced three-level stress labels used for the Nurse Stress and
+#: Stress-Predict datasets ("good", "common", "stress").
+STRESS_LEVEL_STATES: tuple[StatePhysiology, ...] = (
+    StatePhysiology("good", 66.0, 3.0, 2.2, 1.2, 0.16, 13.5, 34.0, 0.06),
+    StatePhysiology("common", 74.0, 4.0, 3.2, 2.5, 0.24, 15.5, 33.6, 0.08),
+    StatePhysiology("stress", 84.0, 5.5, 5.2, 5.0, 0.38, 18.0, 33.1, 0.11),
+)
+
+
+@dataclass(frozen=True)
+class SubjectPhysiology:
+    """Persistent per-subject physiological offsets.
+
+    The offsets shift every state's operating point for that subject, which is
+    what makes held-out-subject generalisation non-trivial and what ties model
+    behaviour to demographic attributes (e.g. resting heart rate correlates
+    with age in the generator used by :mod:`repro.data.wesad`).
+    """
+
+    heart_rate_offset: float = 0.0
+    eda_offset: float = 0.0
+    emg_offset: float = 0.0
+    respiration_offset: float = 0.0
+    temperature_offset: float = 0.0
+    movement_offset: float = 0.0
+    noise_scale: float = 1.0
+
+
+@dataclass
+class SignalSimulator:
+    """Generates multichannel raw windows for (state, subject) pairs.
+
+    Parameters
+    ----------
+    sampling_rate:
+        Samples per second for every channel (the real devices mix rates; a
+        common rate keeps the window tensors rectangular).
+    window_seconds:
+        Duration of each generated window.
+    noise_level:
+        Global measurement-noise multiplier; datasets with poorer class
+        separability (Nurse Stress) use larger values.
+    class_overlap:
+        Fraction in ``[0, 1)`` by which state operating points are pulled
+        toward their common mean — the main knob controlling how hard the
+        classification problem is.
+    rng:
+        Seed or generator.
+    """
+
+    sampling_rate: float = 32.0
+    window_seconds: float = 20.0
+    noise_level: float = 1.0
+    class_overlap: float = 0.0
+    rng: int | np.random.Generator | None = None
+    _generator: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate <= 0:
+            raise ValueError("sampling_rate must be positive")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if not 0.0 <= self.class_overlap < 1.0:
+            raise ValueError("class_overlap must be in [0, 1)")
+        self._generator = (
+            self.rng
+            if isinstance(self.rng, np.random.Generator)
+            else np.random.default_rng(self.rng)
+        )
+
+    # ----------------------------------------------------------- properties
+    @property
+    def samples_per_window(self) -> int:
+        """Number of samples per channel in one window."""
+        return int(round(self.sampling_rate * self.window_seconds))
+
+    @property
+    def n_channels(self) -> int:
+        return len(CHANNELS)
+
+    # ------------------------------------------------------------ internals
+    def _effective_state(
+        self, state: StatePhysiology, subject: SubjectPhysiology
+    ) -> StatePhysiology:
+        """Apply class-overlap shrinkage and subject offsets to a state."""
+        overlap = self.class_overlap
+
+        def blend(value: float, neutral: float) -> float:
+            return (1.0 - overlap) * value + overlap * neutral
+
+        return StatePhysiology(
+            name=state.name,
+            heart_rate=blend(state.heart_rate, 75.0) + subject.heart_rate_offset,
+            heart_rate_variability=state.heart_rate_variability,
+            eda_level=max(0.1, blend(state.eda_level, 3.5) + subject.eda_offset),
+            eda_responses_per_minute=max(0.2, blend(state.eda_responses_per_minute, 3.0)),
+            emg_amplitude=max(0.02, blend(state.emg_amplitude, 0.28) + subject.emg_offset),
+            respiration_rate=max(6.0, blend(state.respiration_rate, 15.5) + subject.respiration_offset),
+            temperature=blend(state.temperature, 33.5) + subject.temperature_offset,
+            movement=max(0.01, blend(state.movement, 0.08) + subject.movement_offset),
+        )
+
+    def _time_axis(self) -> np.ndarray:
+        return np.arange(self.samples_per_window) / self.sampling_rate
+
+    def _bvp(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Pulsatile blood-volume-pulse wave: fundamental + dicrotic harmonic."""
+        beat_frequency = state.heart_rate / 60.0
+        jitter = self._generator.normal(0.0, state.heart_rate_variability / 60.0 / 10.0)
+        phase = 2.0 * np.pi * (beat_frequency + jitter) * time
+        wave = np.sin(phase) + 0.35 * np.sin(2.0 * phase + 0.8)
+        return wave + noise * 0.15 * self._generator.standard_normal(time.shape)
+
+    def _ecg(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Spiky R-peak train at the heart rate with baseline wander."""
+        beat_frequency = state.heart_rate / 60.0
+        phase = (beat_frequency * time) % 1.0
+        spikes = np.exp(-((phase - 0.5) ** 2) / 0.0015)
+        wander = 0.08 * np.sin(2.0 * np.pi * 0.25 * time)
+        return spikes + wander + noise * 0.05 * self._generator.standard_normal(time.shape)
+
+    def _eda(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Tonic level plus exponentially-decaying phasic responses."""
+        tonic = state.eda_level + 0.1 * np.sin(2.0 * np.pi * 0.01 * time)
+        signal = np.full_like(time, 0.0) + tonic
+        expected_events = state.eda_responses_per_minute * self.window_seconds / 60.0
+        n_events = self._generator.poisson(expected_events)
+        for _ in range(int(n_events)):
+            onset = self._generator.uniform(0.0, self.window_seconds)
+            amplitude = self._generator.uniform(0.2, 0.8) * (state.eda_level / 3.0)
+            rise = 1.0 / (1.0 + np.exp(-(time - onset) * 4.0))
+            decay = np.exp(-np.maximum(time - onset, 0.0) / 4.0)
+            signal = signal + amplitude * rise * decay
+        return signal + noise * 0.05 * self._generator.standard_normal(time.shape)
+
+    def _emg(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Amplitude-modulated broadband noise (muscle tension bursts)."""
+        envelope = state.emg_amplitude * (
+            1.0 + 0.5 * np.sin(2.0 * np.pi * 0.3 * time + self._generator.uniform(0, 2 * np.pi))
+        )
+        return envelope * self._generator.standard_normal(time.shape) * (1.0 + 0.2 * noise)
+
+    def _resp(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Respiration wave at the breathing rate."""
+        breath_frequency = state.respiration_rate / 60.0
+        wave = np.sin(2.0 * np.pi * breath_frequency * time)
+        return wave + noise * 0.1 * self._generator.standard_normal(time.shape)
+
+    def _temp(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Skin temperature: slow drift around the state mean."""
+        drift = 0.05 * np.sin(2.0 * np.pi * 0.005 * time + self._generator.uniform(0, 2 * np.pi))
+        return state.temperature + drift + noise * 0.02 * self._generator.standard_normal(time.shape)
+
+    def _acc(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
+        """Accelerometer magnitude: gravity plus movement bursts."""
+        bursts = state.movement * np.abs(
+            np.sin(2.0 * np.pi * 0.8 * time + self._generator.uniform(0, 2 * np.pi))
+        )
+        return 1.0 + bursts + noise * state.movement * 0.5 * self._generator.standard_normal(time.shape)
+
+    # -------------------------------------------------------------- windows
+    def generate_window(
+        self, state: StatePhysiology, subject: SubjectPhysiology | None = None
+    ) -> np.ndarray:
+        """Generate one raw window of shape ``(n_channels, samples_per_window)``."""
+        subject = subject or SubjectPhysiology()
+        effective = self._effective_state(state, subject)
+        noise = self.noise_level * subject.noise_scale
+        time = self._time_axis()
+        channels = np.vstack(
+            [
+                self._bvp(effective, noise, time),
+                self._ecg(effective, noise, time),
+                self._eda(effective, noise, time),
+                self._emg(effective, noise, time),
+                self._resp(effective, noise, time),
+                self._temp(effective, noise, time),
+                self._acc(effective, noise, time),
+            ]
+        )
+        return channels
+
+    def generate_windows(
+        self,
+        state: StatePhysiology,
+        count: int,
+        subject: SubjectPhysiology | None = None,
+    ) -> np.ndarray:
+        """Generate ``count`` windows, shape ``(count, n_channels, samples)``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return np.stack([self.generate_window(state, subject) for _ in range(count)])
+
+    def random_subject(self, strength: float = 1.0) -> SubjectPhysiology:
+        """Draw a random subject profile; ``strength`` scales offset spread."""
+        return SubjectPhysiology(
+            heart_rate_offset=float(self._generator.normal(0.0, 4.0 * strength)),
+            eda_offset=float(self._generator.normal(0.0, 0.8 * strength)),
+            emg_offset=float(self._generator.normal(0.0, 0.04 * strength)),
+            respiration_offset=float(self._generator.normal(0.0, 1.0 * strength)),
+            temperature_offset=float(self._generator.normal(0.0, 0.3 * strength)),
+            movement_offset=float(self._generator.normal(0.0, 0.02 * strength)),
+            noise_scale=float(np.clip(self._generator.normal(1.0, 0.15 * strength), 0.5, 2.0)),
+        )

@@ -1,0 +1,99 @@
+"""Synthetic WESAD-like dataset (wearable stress & affect detection).
+
+The real WESAD dataset [Schmidt et al., 2018] contains chest- and wrist-worn
+recordings from 15 subjects across three affective states (baseline, stress,
+amusement), with per-subject demographics collected in a questionnaire.  This
+module generates a statistically analogous dataset:
+
+* 15 subjects with demographic attributes (handedness, gender, age, height)
+  drawn to roughly match the published cohort (graduate-student age range,
+  mostly right-handed, mixed gender),
+* demographics correlate with physiology (older subjects have slightly lower
+  resting heart rate and more attenuated stress responses; taller subjects
+  have slightly lower heart rates), so the person-specific groups of
+  Table III genuinely behave differently,
+* three classes with the WESAD affective states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loaders import SubjectRecord, TabularDataset, generate_subject_dataset
+from .signals import SignalSimulator, SubjectPhysiology, WESAD_STATES
+
+__all__ = ["make_wesad_subjects", "load_wesad"]
+
+
+def make_wesad_subjects(
+    n_subjects: int = 15, *, rng: int | np.random.Generator | None = None
+) -> list[SubjectRecord]:
+    """Create WESAD-like subject records with correlated demographics/physiology."""
+    if n_subjects < 2:
+        raise ValueError("need at least two subjects")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    records = []
+    for subject_id in range(n_subjects):
+        gender = "female" if generator.random() < 0.4 else "male"
+        hand = "left" if generator.random() < 0.2 else "right"
+        age = int(np.clip(generator.normal(27.0, 4.0), 21, 40))
+        base_height = 165.0 if gender == "female" else 178.0
+        height = float(np.clip(generator.normal(base_height, 7.0), 150, 200))
+
+        # Demographics → physiology couplings: these make the person-specific
+        # groups of Table III behave differently without being degenerate.
+        # Offsets are kept small because WESAD is a controlled lab study in
+        # which every baseline model reaches >= 93 % accuracy.
+        heart_rate_offset = generator.normal(0.0, 2.2) - 0.2 * (age - 27) - 0.04 * (height - 172)
+        eda_offset = generator.normal(0.0, 0.45) + (0.2 if gender == "female" else 0.0)
+        physiology = SubjectPhysiology(
+            heart_rate_offset=float(heart_rate_offset),
+            eda_offset=float(eda_offset),
+            emg_offset=float(generator.normal(0.0, 0.022)),
+            respiration_offset=float(generator.normal(0.0, 0.6)),
+            temperature_offset=float(generator.normal(0.0, 0.18)),
+            movement_offset=float(generator.normal(0.0, 0.011)),
+            noise_scale=float(np.clip(generator.normal(1.0, 0.1), 0.7, 1.5)),
+        )
+        records.append(
+            SubjectRecord(
+                subject_id=subject_id,
+                hand=hand,
+                gender=gender,
+                age=age,
+                height=height,
+                physiology=physiology,
+            )
+        )
+    return records
+
+
+def load_wesad(
+    *,
+    n_subjects: int = 15,
+    windows_per_state: int = 25,
+    window_seconds: float = 20.0,
+    sampling_rate: float = 32.0,
+    seed: int | None = 0,
+) -> TabularDataset:
+    """Generate the WESAD-like dataset used throughout the experiments.
+
+    Classes are well separated (the paper reports ~93–98 % accuracy on WESAD),
+    so ``class_overlap`` and ``noise_level`` are kept low.
+    """
+    rng = np.random.default_rng(seed)
+    subjects = make_wesad_subjects(n_subjects, rng=rng)
+    simulator = SignalSimulator(
+        sampling_rate=sampling_rate,
+        window_seconds=window_seconds,
+        noise_level=0.9,
+        class_overlap=0.03,
+        rng=rng,
+    )
+    return generate_subject_dataset(
+        name="WESAD (synthetic)",
+        states=WESAD_STATES,
+        subject_records=subjects,
+        windows_per_state=windows_per_state,
+        simulator=simulator,
+    )

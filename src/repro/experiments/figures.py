@@ -1,0 +1,361 @@
+"""Generators for the paper's figures (2–8) as numeric series.
+
+Plots are reproduced as the underlying numeric series (x values plus one or
+more y series) together with a formatted text rendering, which is what a
+headless benchmark can print and a test can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.robustness import BitflipSweepResult, bitflip_sweep
+from ..analysis.spectra import KernelShapeReport, encoded_data_spread, kernel_shape_report
+from ..analysis.stability import DimensionSweepResult, dimension_stability_sweep
+from ..baselines.metrics import macro_accuracy
+from ..core.boosthd import BoostHD
+from ..core.span import SpanUtilization, span_utilization
+from ..core.theory import term_convergence_table
+from ..data.imbalance import make_imbalanced
+from ..data.loaders import TabularDataset
+from ..hdc.encoder import NonlinearEncoder
+from ..hdc.onlinehd import OnlineHD
+from .config import ExperimentScale, get_scale
+from .registry import build_model
+from .reporting import format_series
+
+__all__ = [
+    "figure2_theory_terms",
+    "figure3_heatmap",
+    "figure4_kernel_shape",
+    "figure5_span",
+    "figure6_stability",
+    "figure7_overfitting",
+    "figure8_robustness",
+]
+
+
+# --------------------------------------------------------------------- Fig 2
+def figure2_theory_terms(
+    q_values: np.ndarray | None = None,
+) -> tuple[dict[str, np.ndarray], str]:
+    """Figure 2: the σ²_λ terms T1, T2, T3 as functions of q."""
+    table = term_convergence_table(q_values)
+    text = format_series(
+        [f"{q:.1f}" for q in table["q"]],
+        {"T1": table["T1"], "T2": table["T2"], "T3": table["T3"]},
+        x_label="q",
+        title="FIGURE 2 — Convergence of the sigma^2_lambda terms",
+    )
+    return table, text
+
+
+# --------------------------------------------------------------------- Fig 3
+@dataclass(frozen=True)
+class HeatmapResult:
+    """Accuracy grid over (N_L, D) for one of the Figure 3 panels."""
+
+    mode: str
+    learner_counts: tuple[int, ...]
+    dims: tuple[int, ...]
+    accuracy: np.ndarray  # shape (len(learner_counts), len(dims))
+
+    def cell(self, n_learners: int, dim: int) -> float:
+        row = self.learner_counts.index(n_learners)
+        column = self.dims.index(dim)
+        return float(self.accuracy[row, column])
+
+
+def figure3_heatmap(
+    dataset: TabularDataset,
+    *,
+    mode: str = "total",
+    learner_counts: Sequence[int] = (1, 2, 5, 10, 20, 50),
+    dims: Sequence[int] = (1000, 2000, 4000),
+    epochs: int = 10,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[HeatmapResult, str]:
+    """Figure 3: accuracy heatmap over ensemble size and dimensionality.
+
+    ``mode="per_learner"`` reproduces panel (a), where ``dims`` are the
+    dimensionality given to *each* weak learner; ``mode="total"`` reproduces
+    panel (b), where ``dims`` are ``D_total`` split across the learners —
+    the configuration that collapses when ``D_total / N_L`` gets too small.
+    """
+    if mode not in ("per_learner", "total"):
+        raise ValueError(f"mode must be 'per_learner' or 'total', got {mode!r}")
+    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+    grid = np.zeros((len(learner_counts), len(dims)))
+    for row, n_learners in enumerate(learner_counts):
+        for column, dim in enumerate(dims):
+            total_dim = dim * n_learners if mode == "per_learner" else dim
+            if total_dim < n_learners:
+                grid[row, column] = np.nan
+                continue
+            model = BoostHD(
+                total_dim=int(total_dim),
+                n_learners=int(n_learners),
+                epochs=epochs,
+                seed=seed + row * 100 + column,
+            )
+            model.fit(X_train, y_train)
+            grid[row, column] = model.score(X_test, y_test)
+    result = HeatmapResult(
+        mode=mode,
+        learner_counts=tuple(int(count) for count in learner_counts),
+        dims=tuple(int(dim) for dim in dims),
+        accuracy=grid,
+    )
+    series = {
+        f"D={dim}": grid[:, column] for column, dim in enumerate(result.dims)
+    }
+    label = "per-learner D" if mode == "per_learner" else "total D"
+    text = format_series(
+        [str(count) for count in result.learner_counts],
+        series,
+        x_label="N_L",
+        title=f"FIGURE 3 — BoostHD accuracy heatmap ({label})",
+    )
+    return result, text
+
+
+# --------------------------------------------------------------------- Fig 4
+def figure4_kernel_shape(
+    dataset: TabularDataset,
+    *,
+    dims: Sequence[int] = (400, 4000),
+    seed: int = 0,
+) -> tuple[dict[int, dict[str, object]], str]:
+    """Figure 4: kernel shape and encoded-data spread at different dimensions.
+
+    For every requested hyperdimension the encoder's empirical/theoretical
+    axis ratio (circularity) and the spread of the encoded data are reported;
+    larger dimensions approach a circular kernel and a thinner spread, which
+    is the figure's "wasted space" regime.
+    """
+    reports: dict[int, dict[str, object]] = {}
+    sample = dataset.X[: min(len(dataset.X), 200)]
+    for dim in dims:
+        encoder = NonlinearEncoder(dataset.n_features, int(dim), rng=seed)
+        shape: KernelShapeReport = kernel_shape_report(encoder)
+        spread = encoded_data_spread(encoder, sample)
+        reports[int(dim)] = {"shape": shape, "spread": spread}
+    text = format_series(
+        [str(dim) for dim in dims],
+        {
+            "axis_ratio": [reports[int(d)]["shape"].empirical_axis_ratio for d in dims],
+            "axis_ratio_theory": [
+                reports[int(d)]["shape"].theoretical_axis_ratio for d in dims
+            ],
+            "top10_variance": [
+                reports[int(d)]["spread"]["top10_variance_fraction"] for d in dims
+            ],
+        },
+        x_label="D",
+        title="FIGURE 4 — Kernel circularity and encoded-data spread vs D",
+    )
+    return reports, text
+
+
+# --------------------------------------------------------------------- Fig 5
+def figure5_span(
+    dataset: TabularDataset,
+    *,
+    total_dim: int | None = None,
+    n_learners: int | None = None,
+    epochs: int | None = None,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    scale: ExperimentScale | None = None,
+) -> tuple[dict[str, SpanUtilization], str]:
+    """Figure 5: span utilization of BoostHD vs OnlineHD class hypervectors."""
+    scale = scale or get_scale()
+    total_dim = total_dim or scale.total_dim
+    n_learners = n_learners or scale.n_learners
+    epochs = epochs or scale.hd_epochs
+    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+
+    online = OnlineHD(dim=total_dim, epochs=epochs, seed=seed)
+    online.fit(X_train, y_train)
+    boost = BoostHD(total_dim=total_dim, n_learners=n_learners, epochs=epochs, seed=seed)
+    boost.fit(X_train, y_train)
+
+    results = {
+        "OnlineHD": span_utilization(online.class_hypervectors_),
+        "BoostHD": span_utilization(boost.class_hypervectors()),
+    }
+    text = format_series(
+        list(results.keys()),
+        {
+            "mean_abs_cosine": [results[name].mean_abs_cosine for name in results],
+            "rank_ratio": [results[name].rank_ratio for name in results],
+            "SP": [results[name].sp for name in results],
+        },
+        x_label="model",
+        title="FIGURE 5 — Span utilization of class hypervectors",
+        precision=6,
+    )
+    return results, text
+
+
+# --------------------------------------------------------------------- Fig 6
+def figure6_stability(
+    dataset: TabularDataset,
+    *,
+    dims: Sequence[int] = (100, 200, 400, 600, 800, 1000),
+    n_learners: int = 10,
+    n_runs: int | None = None,
+    epochs: int | None = None,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    scale: ExperimentScale | None = None,
+) -> tuple[dict[str, DimensionSweepResult], str]:
+    """Figure 6: accuracy and σ of BoostHD vs OnlineHD as functions of D."""
+    scale = scale or get_scale()
+    n_runs = n_runs or scale.sweep_runs
+    epochs = epochs or scale.hd_epochs
+    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+
+    online_sweep = dimension_stability_sweep(
+        lambda dim, run: OnlineHD(dim=dim, epochs=epochs, seed=run),
+        dims,
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        n_runs=n_runs,
+        model_name="OnlineHD",
+    )
+    boost_sweep = dimension_stability_sweep(
+        lambda dim, run: BoostHD(
+            total_dim=dim, n_learners=min(n_learners, dim), epochs=epochs, seed=run
+        ),
+        dims,
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        n_runs=n_runs,
+        model_name="BoostHD",
+    )
+    results = {"OnlineHD": online_sweep, "BoostHD": boost_sweep}
+    text = format_series(
+        [str(dim) for dim in dims],
+        {
+            "OnlineHD_acc": online_sweep.means,
+            "OnlineHD_sigma": online_sweep.stds,
+            "BoostHD_acc": boost_sweep.means,
+            "BoostHD_sigma": boost_sweep.stds,
+        },
+        x_label="D",
+        title="FIGURE 6 — Accuracy and sigma vs dimensionality",
+    )
+    return results, text
+
+
+# --------------------------------------------------------------------- Fig 7
+def figure7_overfitting(
+    dataset: TabularDataset,
+    *,
+    keep_fractions: Sequence[float] = (1.0, 0.8, 0.6, 0.4, 0.2),
+    total_dims: Sequence[int] = (1000, 4000),
+    n_learners: int = 10,
+    epochs: int | None = None,
+    target_class: int = 0,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    scale: ExperimentScale | None = None,
+) -> tuple[dict[int, dict[str, np.ndarray]], str]:
+    """Figure 7: macro accuracy vs the imbalance ratio r (Eq. 8).
+
+    For every ``D_total`` panel the training set of all classes except the
+    target class is shrunk to the keep fraction r, models are retrained and
+    macro accuracy on the untouched test set is reported.
+    """
+    scale = scale or get_scale()
+    epochs = epochs or scale.hd_epochs
+    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+
+    results: dict[int, dict[str, np.ndarray]] = {}
+    for total_dim in total_dims:
+        online_scores, boost_scores = [], []
+        for index, fraction in enumerate(keep_fractions):
+            X_imbalanced, y_imbalanced = make_imbalanced(
+                X_train, y_train, target_class, float(fraction), rng=seed + index
+            )
+            online = OnlineHD(dim=int(total_dim), epochs=epochs, seed=seed + index)
+            online.fit(X_imbalanced, y_imbalanced)
+            online_scores.append(macro_accuracy(y_test, online.predict(X_test)))
+
+            boost = BoostHD(
+                total_dim=int(total_dim),
+                n_learners=n_learners,
+                epochs=epochs,
+                seed=seed + index,
+            )
+            boost.fit(X_imbalanced, y_imbalanced)
+            boost_scores.append(macro_accuracy(y_test, boost.predict(X_test)))
+        results[int(total_dim)] = {
+            "keep_fractions": np.asarray(keep_fractions, dtype=float),
+            "OnlineHD": np.asarray(online_scores),
+            "BoostHD": np.asarray(boost_scores),
+        }
+
+    sections = []
+    for total_dim, series in results.items():
+        sections.append(
+            format_series(
+                [f"{fraction:.2f}" for fraction in series["keep_fractions"]],
+                {"OnlineHD": series["OnlineHD"], "BoostHD": series["BoostHD"]},
+                x_label="r",
+                title=f"FIGURE 7 — Macro accuracy vs imbalance ratio (D_total={total_dim})",
+            )
+        )
+    return results, "\n\n".join(sections)
+
+
+# --------------------------------------------------------------------- Fig 8
+def figure8_robustness(
+    dataset: TabularDataset,
+    *,
+    probabilities: Sequence[float] = (1e-6, 3e-6, 1e-5, 3e-5),
+    model_names: Sequence[str] = ("DNN", "OnlineHD", "BoostHD"),
+    n_trials: int | None = None,
+    mode: str = "fixed16",
+    test_fraction: float = 0.3,
+    seed: int = 0,
+    scale: ExperimentScale | None = None,
+) -> tuple[dict[str, BitflipSweepResult], str]:
+    """Figure 8: accuracy under bit-flip noise for DNN, OnlineHD and BoostHD."""
+    scale = scale or get_scale()
+    n_trials = n_trials or scale.bitflip_trials
+    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+
+    results: dict[str, BitflipSweepResult] = {}
+    for model_name in model_names:
+        model = build_model(model_name, seed, scale)
+        model.fit(X_train, y_train)
+        results[model_name] = bitflip_sweep(
+            model,
+            X_test,
+            y_test,
+            probabilities,
+            n_trials=n_trials,
+            mode=mode,
+            model_name=model_name,
+            rng=seed,
+        )
+    text = format_series(
+        [f"{probability:.0e}" for probability in probabilities],
+        {name: sweep.means for name, sweep in results.items()},
+        x_label="p_b",
+        title="FIGURE 8 — Accuracy under bit-flip noise",
+    )
+    mad_lines = [
+        f"  MAD[{name}] = {sweep.overall_mad:.4f}" for name, sweep in results.items()
+    ]
+    return results, text + "\n" + "\n".join(mad_lines)

@@ -1,0 +1,164 @@
+"""Suite runner: trains models repeatedly and records accuracy and timing.
+
+Tables I and II need, per (dataset, model) cell, the mean ± std accuracy over
+independent runs and the per-query inference time.  The runner produces both
+in one pass so the two tables stay consistent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.base import BaseClassifier
+from ..baselines.metrics import accuracy
+from ..data.loaders import TabularDataset
+from .config import ExperimentScale, get_scale
+from .registry import MODEL_NAMES, build_model
+
+__all__ = ["ModelRunResult", "SuiteResult", "run_model", "run_suite", "load_datasets"]
+
+
+@dataclass(frozen=True)
+class ModelRunResult:
+    """Accuracy/timing summary of one model on one dataset."""
+
+    model_name: str
+    dataset_name: str
+    accuracies: np.ndarray
+    train_seconds: np.ndarray
+    inference_seconds_per_query: np.ndarray
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def mean_train_seconds(self) -> float:
+        return float(np.mean(self.train_seconds))
+
+    @property
+    def mean_inference_per_query(self) -> float:
+        return float(np.mean(self.inference_seconds_per_query))
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Results of all models on all datasets: ``results[dataset][model]``."""
+
+    results: Mapping[str, Mapping[str, ModelRunResult]]
+
+    def datasets(self) -> list[str]:
+        return list(self.results.keys())
+
+    def models(self) -> list[str]:
+        first = next(iter(self.results.values()), {})
+        return list(first.keys())
+
+    def best_model(self, dataset: str) -> str:
+        """Model with the highest mean accuracy on ``dataset``."""
+        cells = self.results[dataset]
+        return max(cells, key=lambda model: cells[model].mean_accuracy)
+
+
+def run_model(
+    build: Callable[[int], BaseClassifier],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    n_runs: int = 3,
+    model_name: str = "model",
+    dataset_name: str = "dataset",
+    metric: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+) -> ModelRunResult:
+    """Train/evaluate ``n_runs`` instances of one model, timing each phase."""
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    accuracies, train_times, query_times = [], [], []
+    for run in range(n_runs):
+        model = build(run)
+        start = time.perf_counter()
+        model.fit(X_train, y_train)
+        train_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        predictions = model.predict(X_test)
+        elapsed = time.perf_counter() - start
+        query_times.append(elapsed / max(len(X_test), 1))
+        accuracies.append(metric(y_test, predictions))
+    return ModelRunResult(
+        model_name=model_name,
+        dataset_name=dataset_name,
+        accuracies=np.asarray(accuracies),
+        train_seconds=np.asarray(train_times),
+        inference_seconds_per_query=np.asarray(query_times),
+    )
+
+
+def load_datasets(scale: ExperimentScale | None = None) -> dict[str, TabularDataset]:
+    """Generate the three synthetic datasets at the active scale."""
+    from ..data.nurse_stress import load_nurse_stress
+    from ..data.stress_predict import load_stress_predict
+    from ..data.wesad import load_wesad
+
+    scale = scale or get_scale()
+    return {
+        "WESAD": load_wesad(
+            n_subjects=scale.wesad_subjects,
+            windows_per_state=scale.windows_per_state,
+            seed=0,
+        ),
+        "Nurse Stress Dataset": load_nurse_stress(
+            n_subjects=scale.nurse_subjects,
+            windows_per_state=max(6, scale.windows_per_state // 2),
+            seed=1,
+        ),
+        "Stress-Predict Dataset": load_stress_predict(
+            n_subjects=scale.stress_predict_subjects,
+            windows_per_state=scale.windows_per_state,
+            seed=2,
+        ),
+    }
+
+
+def run_suite(
+    datasets: Mapping[str, TabularDataset] | None = None,
+    model_names: Sequence[str] = MODEL_NAMES,
+    *,
+    scale: ExperimentScale | None = None,
+    n_runs: int | None = None,
+    test_fraction: float = 0.3,
+    split_seed: int = 7,
+) -> SuiteResult:
+    """Run every requested model on every dataset with subject-wise splits."""
+    scale = scale or get_scale()
+    datasets = datasets or load_datasets(scale)
+    n_runs = n_runs or scale.n_runs
+
+    results: dict[str, dict[str, ModelRunResult]] = {}
+    for dataset_name, dataset in datasets.items():
+        X_train, X_test, y_train, y_test = dataset.split(
+            test_fraction=test_fraction, rng=split_seed
+        )
+        results[dataset_name] = {}
+        for model_name in model_names:
+            results[dataset_name][model_name] = run_model(
+                lambda seed, name=model_name: build_model(name, seed, scale),
+                X_train,
+                y_train,
+                X_test,
+                y_test,
+                n_runs=n_runs,
+                model_name=model_name,
+                dataset_name=dataset_name,
+            )
+    return SuiteResult(results=results)

@@ -1,0 +1,90 @@
+"""Baseline single-pass centroid HDC classifier.
+
+The simplest HDC classifier bundles every encoded training sample into its
+class hypervector (one pass, no error feedback) and predicts by cosine
+similarity.  OnlineHD (:mod:`repro.hdc.onlinehd`) refines this with adaptive,
+similarity-weighted updates; the centroid model is kept as a reference point
+and as the initialisation used by OnlineHD's first pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import BaseClassifier
+from .encoder import Encoder, NonlinearEncoder
+from .similarity import cosine_similarity
+
+__all__ = ["CentroidHD"]
+
+
+class CentroidHD(BaseClassifier):
+    """Single-pass bundling ("centroid") hyperdimensional classifier.
+
+    Parameters
+    ----------
+    dim:
+        Hyperdimensionality ``D``.
+    bandwidth:
+        Kernel bandwidth of the default nonlinear encoder (ignored when an
+        explicit ``encoder`` is supplied).
+    encoder:
+        Optional pre-built encoder.  When omitted a :class:`NonlinearEncoder`
+        is created at fit time for the observed number of features.
+    seed:
+        Seed controlling the random encoder.
+    """
+
+    def __init__(
+        self,
+        dim: int = 1000,
+        *,
+        bandwidth: float = 1.5,
+        encoder: Encoder | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.dim = int(dim)
+        self.bandwidth = float(bandwidth)
+        self.encoder = encoder
+        self.seed = seed
+        self.class_hypervectors_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def _ensure_encoder(self, n_features: int) -> Encoder:
+        if self.encoder is None:
+            self.encoder = NonlinearEncoder(
+                n_features, self.dim, bandwidth=self.bandwidth, rng=self.seed
+            )
+        return self.encoder
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "CentroidHD":
+        """Bundle encoded samples per class, optionally weighted."""
+        X, y = self._validate_fit_args(X, y)
+        weights = self._validate_sample_weight(sample_weight, len(y))
+        encoder = self._ensure_encoder(X.shape[1])
+        encoded = encoder.encode(X)
+        self.classes_ = np.unique(y)
+        hypervectors = np.zeros((len(self.classes_), encoder.dim))
+        for index, label in enumerate(self.classes_):
+            mask = y == label
+            hypervectors[index] = (weights[mask, None] * encoded[mask]).sum(axis=0)
+        self.class_hypervectors_ = hypervectors
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Cosine similarity of each query against each class hypervector."""
+        self._check_fitted("class_hypervectors_")
+        X = self._validate_predict_args(X)
+        encoded = self.encoder.encode(X)
+        return cosine_similarity(encoded, self.class_hypervectors_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]

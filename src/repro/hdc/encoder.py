@@ -1,0 +1,237 @@
+"""Encoders that map feature vectors into hyperdimensional space.
+
+The paper (Section II-C) uses the OnlineHD-style *nonlinear* encoder: features
+are multiplied by a Gaussian random projection matrix and passed through
+trigonometric activation functions.  For an input ``x`` of dimension ``f`` and
+a target hyperdimension ``D``::
+
+    h_i = cos(w_i . x + b_i) * sin(w_i . x)          with  w_i ~ N(0, 1)^f,  b_i ~ U(0, 2*pi)
+
+This is a random-Fourier-feature style mapping whose projection matrix plays
+the role of the Gaussian kernel analysed by the Marchenko–Pastur theory in
+:mod:`repro.core.theory`.
+
+Two additional classic HDC encoders are provided:
+
+* :class:`LevelIdEncoder` — record-based encoding that binds per-feature ID
+  hypervectors with quantized level hypervectors and bundles the result.
+* :class:`SlicedEncoder` — a view of a contiguous dimension slice of another
+  encoder; used by the partitioning ablation in which BoostHD weak learners
+  share a single ``D_total`` projection instead of drawing independent ones.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .hypervector import random_hypervector
+
+__all__ = [
+    "Encoder",
+    "NonlinearEncoder",
+    "LevelIdEncoder",
+    "SlicedEncoder",
+]
+
+
+class Encoder(ABC):
+    """Abstract mapping from feature space to hyperdimensional space.
+
+    Concrete encoders expose ``dim`` (output hyperdimension), ``in_features``
+    (expected input width) and :meth:`encode`, which accepts a single sample
+    ``(f,)`` or a batch ``(n, f)`` and returns hypervectors of matching rank.
+    """
+
+    #: Output hyperdimensionality.
+    dim: int
+    #: Expected number of input features.
+    in_features: int
+
+    @abstractmethod
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode features into hypervectors."""
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.encode(features)
+
+    def _validate(self, features: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Coerce input to a 2-D batch, remembering whether it was a vector."""
+        array = np.asarray(features, dtype=float)
+        single = array.ndim == 1
+        batch = array[None, :] if single else array
+        if batch.ndim != 2:
+            raise ValueError(f"expected 1-D or 2-D features, got ndim={array.ndim}")
+        if batch.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} features, got {batch.shape[1]}"
+            )
+        return batch, single
+
+
+class NonlinearEncoder(Encoder):
+    """OnlineHD nonlinear encoder: Gaussian projection + cos·sin activation.
+
+    Parameters
+    ----------
+    in_features:
+        Number of input features.
+    dim:
+        Hyperdimensionality ``D`` of the output space.
+    bandwidth:
+        Kernel bandwidth of the random-Fourier-feature projection.  The raw
+        projection ``xW^T`` is divided by ``bandwidth * sqrt(in_features)``
+        so that, for standardised features, the argument of the trigonometric
+        activations has unit-order variance regardless of the feature count —
+        otherwise the implied Gaussian kernel becomes so narrow that encoded
+        samples are mutually orthogonal and the model cannot generalise.
+    rng:
+        Seed or generator controlling the random projection.
+
+    Notes
+    -----
+    The projection matrix ``basis`` has shape ``(dim, in_features)`` with
+    entries drawn from N(0, 1) (the paper's configuration), and ``bias`` is
+    uniform on ``[0, 2π)``.  Both are fixed at construction time, so encoding
+    is deterministic afterwards.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        dim: int,
+        *,
+        bandwidth: float = 1.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if in_features <= 0:
+            raise ValueError(f"in_features must be positive, got {in_features}")
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        generator = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        self.in_features = int(in_features)
+        self.dim = int(dim)
+        self.bandwidth = float(bandwidth)
+        self.basis = generator.standard_normal((self.dim, self.in_features))
+        self.bias = generator.uniform(0.0, 2.0 * np.pi, size=self.dim)
+
+    @property
+    def _projection_scale(self) -> float:
+        return 1.0 / (self.bandwidth * np.sqrt(self.in_features))
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Map features to hypervectors ``cos(xW^T + b) * sin(xW^T)``."""
+        batch, single = self._validate(features)
+        projected = batch @ self.basis.T * self._projection_scale
+        encoded = np.cos(projected + self.bias) * np.sin(projected)
+        return encoded[0] if single else encoded
+
+    def slice(self, start: int, stop: int) -> "SlicedEncoder":
+        """Return a view encoder restricted to dimensions ``[start, stop)``."""
+        return SlicedEncoder(self, start, stop)
+
+
+class SlicedEncoder(Encoder):
+    """Encoder exposing a contiguous dimension slice of a parent encoder.
+
+    Used for the "shared projection" partitioning strategy: weak learner ``i``
+    sees dimensions ``[i * D/n, (i+1) * D/n)`` of one ``D_total`` encoder.
+    """
+
+    def __init__(self, parent: Encoder, start: int, stop: int) -> None:
+        if not 0 <= start < stop <= parent.dim:
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for parent dim {parent.dim}"
+            )
+        self.parent = parent
+        self.start = int(start)
+        self.stop = int(stop)
+        self.dim = self.stop - self.start
+        self.in_features = parent.in_features
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        encoded = self.parent.encode(features)
+        return encoded[..., self.start : self.stop]
+
+
+class LevelIdEncoder(Encoder):
+    """Record-based encoder with ID/level hypervector binding.
+
+    Each feature ``j`` owns a random bipolar *ID* hypervector; feature values
+    are quantized into ``levels`` correlated *level* hypervectors (neighbouring
+    levels share most of their elements).  A sample is encoded as the bundle of
+    ``bind(id_j, level(x_j))`` over features, which is the classic "record"
+    encoding used throughout the HDC literature.
+
+    Parameters
+    ----------
+    in_features:
+        Number of input features.
+    dim:
+        Hyperdimensionality of the output.
+    levels:
+        Number of quantization levels for feature values.
+    feature_range:
+        Expected ``(low, high)`` range of feature values; values outside are
+        clipped.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        dim: int,
+        *,
+        levels: int = 32,
+        feature_range: tuple[float, float] = (0.0, 1.0),
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        low, high = feature_range
+        if not high > low:
+            raise ValueError(f"feature_range must satisfy high > low, got {feature_range}")
+        generator = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        self.in_features = int(in_features)
+        self.dim = int(dim)
+        self.levels = int(levels)
+        self.feature_range = (float(low), float(high))
+        self.id_vectors = random_hypervector(
+            self.dim, self.in_features, flavour="bipolar", rng=generator
+        )
+        self.level_vectors = self._build_level_vectors(generator)
+
+    def _build_level_vectors(self, generator: np.random.Generator) -> np.ndarray:
+        """Create correlated level hypervectors by progressive bit flipping."""
+        base = random_hypervector(self.dim, flavour="bipolar", rng=generator)
+        flips_per_level = self.dim // max(self.levels - 1, 1)
+        order = generator.permutation(self.dim)
+        levels = np.empty((self.levels, self.dim))
+        current = base.copy()
+        levels[0] = current
+        for level in range(1, self.levels):
+            start = (level - 1) * flips_per_level
+            stop = min(level * flips_per_level, self.dim)
+            current = current.copy()
+            current[order[start:stop]] *= -1.0
+            levels[level] = current
+        return levels
+
+    def _quantize(self, batch: np.ndarray) -> np.ndarray:
+        low, high = self.feature_range
+        clipped = np.clip(batch, low, high)
+        scaled = (clipped - low) / (high - low)
+        return np.minimum((scaled * self.levels).astype(int), self.levels - 1)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        batch, single = self._validate(features)
+        level_index = self._quantize(batch)
+        # bind(id_j, level(x_j)) summed over features, vectorised over samples
+        encoded = np.einsum(
+            "fd,nfd->nd", self.id_vectors, self.level_vectors[level_index]
+        )
+        return encoded[0] if single else encoded

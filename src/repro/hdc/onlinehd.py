@@ -1,0 +1,169 @@
+"""OnlineHD classifier (Hernandez-Cano et al., DATE 2021).
+
+OnlineHD is the "strong learner" the paper partitions.  It improves on the
+single-pass centroid model with *adaptive* updates: each training sample only
+modifies the class hypervectors in proportion to how badly the model currently
+scores it.  With learning rate ``lr`` and cosine similarities ``δ``:
+
+* correct prediction with true class ``y``:  ``C_y += lr · (1 − δ_y) · H``
+* misprediction (predicted ``ŷ ≠ y``)::
+
+      C_y  += lr · (1 − δ_y)  · H
+      C_ŷ  -= lr · (1 − δ_ŷ)  · H
+
+so confidently-correct samples barely move the model while confusing samples
+drive the largest corrections.  Training performs one bundling pass (the
+initial model) followed by ``epochs`` adaptive passes.
+
+Sample weights are supported in two ways so that the model can serve as a
+boosting weak learner (see :class:`repro.core.BoostHD`):
+
+* ``bootstrap=True`` (the paper's configuration) — each adaptive epoch draws a
+  weighted bootstrap resample of the training set, and the initial bundling
+  weights samples directly;
+* ``bootstrap=False`` — updates are scaled by the (normalised) sample weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import BaseClassifier
+from .encoder import Encoder, NonlinearEncoder
+from .similarity import cosine_similarity
+
+__all__ = ["OnlineHD"]
+
+
+class OnlineHD(BaseClassifier):
+    """Adaptive single-pass + iterative hyperdimensional classifier.
+
+    Parameters
+    ----------
+    dim:
+        Hyperdimensionality ``D`` of the model.
+    lr:
+        Learning rate for adaptive updates (paper: 0.035).
+    epochs:
+        Number of adaptive refinement passes after the initial bundling pass.
+    bootstrap:
+        When sample weights are provided, resample each adaptive epoch with
+        probability proportional to the weights (paper configuration) instead
+        of scaling updates.
+    bandwidth:
+        Kernel bandwidth of the default nonlinear encoder (ignored when an
+        explicit ``encoder`` is supplied).
+    encoder:
+        Optional pre-built encoder; by default a :class:`NonlinearEncoder`
+        with Gaussian N(0, 1) projection is created at fit time.
+    seed:
+        Seed for the encoder and bootstrap resampling.
+    """
+
+    def __init__(
+        self,
+        dim: int = 1000,
+        *,
+        lr: float = 0.035,
+        epochs: int = 20,
+        bootstrap: bool = True,
+        bandwidth: float = 1.5,
+        encoder: Encoder | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {epochs}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.dim = int(dim)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.bootstrap = bool(bootstrap)
+        self.bandwidth = float(bandwidth)
+        self.encoder = encoder
+        self.seed = seed
+        self.class_hypervectors_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+    def _ensure_encoder(self, n_features: int) -> Encoder:
+        if self.encoder is None:
+            self.encoder = NonlinearEncoder(
+                n_features, self.dim, bandwidth=self.bandwidth, rng=self.seed
+            )
+        return self.encoder
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "OnlineHD":
+        X, y = self._validate_fit_args(X, y)
+        weights = self._validate_sample_weight(sample_weight, len(y))
+        weighted = sample_weight is not None
+        encoder = self._ensure_encoder(X.shape[1])
+        rng = np.random.default_rng(self.seed)
+
+        self.classes_ = np.unique(y)
+        label_index = np.searchsorted(self.classes_, y)
+        encoded = encoder.encode(X)
+
+        # Initial single-pass bundling (weighted when boosting provides weights).
+        model = np.zeros((len(self.classes_), encoder.dim))
+        initial_scale = weights * len(y) if weighted else np.ones(len(y))
+        np.add.at(model, label_index, initial_scale[:, None] * encoded)
+
+        for _ in range(self.epochs):
+            if weighted and self.bootstrap:
+                order = rng.choice(len(y), size=len(y), p=weights)
+                update_scale = np.ones(len(y))
+            else:
+                order = rng.permutation(len(y))
+                update_scale = weights * len(y) if weighted else np.ones(len(y))
+            self._adaptive_pass(model, encoded, label_index, order, update_scale)
+
+        self.class_hypervectors_ = model
+        return self
+
+    def _adaptive_pass(
+        self,
+        model: np.ndarray,
+        encoded: np.ndarray,
+        label_index: np.ndarray,
+        order: np.ndarray,
+        update_scale: np.ndarray,
+    ) -> None:
+        """One epoch of OnlineHD adaptive updates over samples in ``order``."""
+        for sample in order:
+            hypervector = encoded[sample]
+            true_class = label_index[sample]
+            scores = cosine_similarity(hypervector, model)
+            predicted = int(np.argmax(scores))
+            scale = update_scale[sample] * self.lr
+            if predicted == true_class:
+                model[true_class] += scale * (1.0 - scores[true_class]) * hypervector
+            else:
+                model[true_class] += scale * (1.0 - scores[true_class]) * hypervector
+                model[predicted] -= scale * (1.0 - scores[predicted]) * hypervector
+
+    # -------------------------------------------------------------- predict
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Cosine similarity of each query to each class hypervector."""
+        self._check_fitted("class_hypervectors_")
+        X = self._validate_predict_args(X)
+        encoded = self.encoder.encode(X)
+        return cosine_similarity(encoded, self.class_hypervectors_)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax over similarity scores (a convenience, not calibrated)."""
+        scores = self.decision_function(X)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exponent = np.exp(shifted)
+        return exponent / exponent.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]

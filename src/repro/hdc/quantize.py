@@ -1,0 +1,94 @@
+"""Model quantisation helpers for HDC classifiers.
+
+Wearable deployments typically store class hypervectors in reduced precision
+(bipolar, fixed-point or float32).  This module converts trained HDC models
+between representations and provides the fixed-point view used by the
+bit-flip robustness experiments (Figure 8): each hypervector element is stored
+as a signed integer of ``bits`` bits so that a single bit flip has a bounded,
+hardware-realistic effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hypervector import bipolarize
+
+__all__ = [
+    "FixedPointFormat",
+    "to_fixed_point",
+    "from_fixed_point",
+    "quantize_model",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format with ``bits`` total bits and a shared scale.
+
+    Values are encoded as ``round(value / scale)`` clipped to the signed range
+    ``[-2**(bits-1), 2**(bits-1) - 1]``.
+    """
+
+    bits: int = 16
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def min_code(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_code(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+def infer_scale(values: np.ndarray, bits: int = 16) -> FixedPointFormat:
+    """Pick a scale so the largest magnitude maps near the top of the range."""
+    magnitude = float(np.max(np.abs(values))) if values.size else 1.0
+    magnitude = max(magnitude, 1e-12)
+    scale = magnitude / ((1 << (bits - 1)) - 1)
+    return FixedPointFormat(bits=bits, scale=scale)
+
+
+def to_fixed_point(
+    values: np.ndarray, fmt: FixedPointFormat | None = None, *, bits: int = 16
+) -> tuple[np.ndarray, FixedPointFormat]:
+    """Quantize float values to fixed-point integer codes.
+
+    Returns the integer codes (dtype ``int64``) and the format used, inferring
+    a scale from the data when ``fmt`` is not supplied.
+    """
+    array = np.asarray(values, dtype=float)
+    if fmt is None:
+        fmt = infer_scale(array, bits=bits)
+    codes = np.clip(np.round(array / fmt.scale), fmt.min_code, fmt.max_code)
+    return codes.astype(np.int64), fmt
+
+
+def from_fixed_point(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Convert fixed-point integer codes back to floats."""
+    return np.asarray(codes, dtype=float) * fmt.scale
+
+
+def quantize_model(class_hypervectors: np.ndarray, scheme: str = "bipolar") -> np.ndarray:
+    """Quantize class hypervectors for low-cost inference.
+
+    ``scheme`` may be ``"bipolar"`` (sign quantisation, the classic 1-bit HDC
+    model) or ``"fixed16"`` / ``"fixed8"`` (round-trip through fixed point).
+    """
+    array = np.asarray(class_hypervectors, dtype=float)
+    if scheme == "bipolar":
+        return bipolarize(array)
+    if scheme in ("fixed16", "fixed8"):
+        bits = 16 if scheme == "fixed16" else 8
+        codes, fmt = to_fixed_point(array, bits=bits)
+        return from_fixed_point(codes, fmt)
+    raise ValueError(f"unknown quantization scheme {scheme!r}")

@@ -1,0 +1,89 @@
+"""Similarity metrics between hypervectors.
+
+The paper's Equation (1) defines the similarity between two hypervectors as
+normalised dot product (cosine similarity):
+
+.. math::
+
+   \\delta(V_1, V_2) = \\frac{V_1^\\dagger V_2}{\\lVert V_1 \\rVert\\,\\lVert V_2 \\rVert}
+
+All HDC classifiers in this repository compare encoded queries against class
+hypervectors with :func:`cosine_similarity`.  Hamming similarity is provided
+for binary/bipolar models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "dot_similarity",
+    "hamming_similarity",
+    "pairwise_cosine",
+]
+
+_EPS = 1e-12
+
+
+def _prepare(first: np.ndarray, second: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    lhs = np.atleast_2d(np.asarray(first, dtype=float))
+    rhs = np.atleast_2d(np.asarray(second, dtype=float))
+    if lhs.shape[1] != rhs.shape[1]:
+        raise ValueError(f"dimension mismatch: {lhs.shape[1]} vs {rhs.shape[1]}")
+    return lhs, rhs
+
+
+def dot_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Plain dot-product similarity between batches of hypervectors.
+
+    ``first`` has shape ``(n, dim)`` (or ``(dim,)``) and ``second`` has shape
+    ``(m, dim)`` (or ``(dim,)``).  The result has shape ``(n, m)`` and is
+    squeezed to a scalar when both inputs are single hypervectors.
+    """
+    lhs, rhs = _prepare(first, second)
+    result = lhs @ rhs.T
+    return _maybe_squeeze(result, first, second)
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Cosine similarity (Equation 1) between batches of hypervectors."""
+    lhs, rhs = _prepare(first, second)
+    lhs_norm = np.linalg.norm(lhs, axis=1, keepdims=True)
+    rhs_norm = np.linalg.norm(rhs, axis=1, keepdims=True)
+    denominator = np.maximum(lhs_norm @ rhs_norm.T, _EPS)
+    result = (lhs @ rhs.T) / denominator
+    return _maybe_squeeze(result, first, second)
+
+
+def hamming_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Fraction of matching elements between quantized hypervectors.
+
+    Inputs are interpreted as sign patterns: any non-negative element counts
+    as +1 and any negative element as -1, so the metric works for bipolar,
+    binary and real-valued hypervectors alike.
+    """
+    lhs, rhs = _prepare(first, second)
+    lhs_sign = np.where(lhs >= 0.0, 1.0, -1.0)
+    rhs_sign = np.where(rhs >= 0.0, 1.0, -1.0)
+    matches = (lhs_sign[:, None, :] == rhs_sign[None, :, :]).mean(axis=2)
+    return _maybe_squeeze(matches, first, second)
+
+
+def pairwise_cosine(vectors: np.ndarray) -> np.ndarray:
+    """Symmetric cosine-similarity matrix of a batch of hypervectors."""
+    batch = np.atleast_2d(np.asarray(vectors, dtype=float))
+    return cosine_similarity(batch, batch)
+
+
+def _maybe_squeeze(result: np.ndarray, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Squeeze the output back to the natural rank of the inputs."""
+    first_is_vector = np.asarray(first).ndim == 1
+    second_is_vector = np.asarray(second).ndim == 1
+    if first_is_vector and second_is_vector:
+        return float(result[0, 0])
+    if first_is_vector:
+        return result[0]
+    if second_is_vector:
+        return result[:, 0]
+    return result

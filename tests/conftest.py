@@ -1,0 +1,60 @@
+"""Shared fixtures: small, fast synthetic classification problems.
+
+Classifier unit tests use a tiny, well-separated Gaussian-blob problem so
+every model can be fitted in milliseconds; dataset-level and experiment-level
+tests use a miniature WESAD-like dataset generated once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_wesad
+
+
+def make_blobs(
+    n_per_class: int = 30,
+    n_classes: int = 3,
+    n_features: int = 6,
+    separation: float = 3.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Well-separated Gaussian blobs for fast classifier sanity checks."""
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_classes, n_features)) * separation
+    X = np.vstack(
+        [centers[label] + rng.standard_normal((n_per_class, n_features)) for label in range(n_classes)]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="session")
+def blobs() -> tuple[np.ndarray, np.ndarray]:
+    """A 3-class, 6-feature blob problem (90 samples)."""
+    return make_blobs()
+
+
+@pytest.fixture(scope="session")
+def blobs_split(blobs) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic 70/30 split of the blob problem."""
+    X, y = blobs
+    rng = np.random.default_rng(1)
+    order = rng.permutation(len(y))
+    cut = int(0.7 * len(y))
+    train, test = order[:cut], order[cut:]
+    return X[train], X[test], y[train], y[test]
+
+
+@pytest.fixture(scope="session")
+def mini_wesad():
+    """A miniature WESAD-like dataset (4 subjects, 5 windows per state)."""
+    return load_wesad(n_subjects=4, windows_per_state=5, window_seconds=8.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mini_wesad_split(mini_wesad):
+    """Subject-wise split of the miniature WESAD-like dataset."""
+    return mini_wesad.split(test_fraction=0.3, rng=0)

@@ -1,0 +1,168 @@
+"""Unit tests for the stability, robustness, fairness and spectra analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_GROUPS,
+    bitflip_sweep,
+    dimension_stability_sweep,
+    encoded_data_spread,
+    evaluate_groups,
+    group_accuracy_table,
+    kernel_shape_report,
+)
+from repro.baselines import DecisionTreeClassifier
+from repro.hdc import NonlinearEncoder, OnlineHD
+
+
+class TestStabilitySweep:
+    def test_result_structure(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        result = dimension_stability_sweep(
+            lambda dim, run: OnlineHD(dim=dim, epochs=1, seed=run),
+            [50, 100],
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+            n_runs=2,
+            model_name="OnlineHD",
+        )
+        assert result.model_name == "OnlineHD"
+        np.testing.assert_array_equal(result.dims, [50, 100])
+        assert result.means.shape == (2,)
+        assert result.stds.shape == (2,)
+        assert 0.0 <= result.mean_sigma
+
+    def test_scores_recorded_per_run(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        result = dimension_stability_sweep(
+            lambda dim, run: OnlineHD(dim=dim, epochs=1, seed=run),
+            [60],
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+            n_runs=3,
+        )
+        assert result.points[0].scores.shape == (3,)
+
+    def test_invalid_arguments_raise(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        with pytest.raises(ValueError):
+            dimension_stability_sweep(
+                lambda dim, run: OnlineHD(dim=dim), [], X_train, y_train, X_test, y_test
+            )
+        with pytest.raises(ValueError):
+            dimension_stability_sweep(
+                lambda dim, run: OnlineHD(dim=dim),
+                [10],
+                X_train,
+                y_train,
+                X_test,
+                y_test,
+                n_runs=0,
+            )
+
+
+class TestBitflipSweep:
+    def test_sweep_structure(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=100, epochs=1, seed=0).fit(X_train, y_train)
+        result = bitflip_sweep(
+            model, X_test, y_test, [1e-5, 1e-3], n_trials=3, model_name="OnlineHD", rng=0
+        )
+        assert result.model_name == "OnlineHD"
+        np.testing.assert_array_equal(result.probabilities, [1e-5, 1e-3])
+        assert result.means.shape == (2,)
+        assert result.points[0].scores.shape == (3,)
+        assert result.overall_mad >= 0.0
+
+    def test_tiny_probability_barely_hurts(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=200, epochs=2, seed=0).fit(X_train, y_train)
+        result = bitflip_sweep(model, X_test, y_test, [1e-7], n_trials=3, rng=0)
+        assert result.accuracy_loss[0] < 0.1
+
+    def test_severe_probability_hurts_more(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=200, epochs=2, seed=0).fit(X_train, y_train)
+        result = bitflip_sweep(model, X_test, y_test, [1e-6, 0.2], n_trials=5, rng=0)
+        assert result.means[1] <= result.means[0] + 0.05
+
+    def test_invalid_arguments_raise(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=50, epochs=1, seed=0).fit(X_train, y_train)
+        with pytest.raises(ValueError):
+            bitflip_sweep(model, X_test, y_test, [], n_trials=3)
+        with pytest.raises(ValueError):
+            bitflip_sweep(model, X_test, y_test, [1e-5], n_trials=0)
+
+
+class TestFairness:
+    def test_paper_groups_defined(self):
+        assert set(PAPER_GROUPS) == {
+            "Left hands",
+            "Female",
+            "Age <= 25",
+            "Age >= 30",
+            "Height <= 170",
+            "Height >= 185",
+        }
+
+    def test_evaluate_groups_returns_valid_accuracies(self, mini_wesad):
+        results = evaluate_groups(
+            lambda seed: DecisionTreeClassifier(max_depth=5, seed=seed),
+            mini_wesad,
+            groups={"Everyone": lambda record: True},
+            seed=0,
+        )
+        assert len(results) == 1
+        assert 0.0 <= results[0].accuracy <= 1.0
+        assert results[0].n_subjects == len(mini_wesad.subject_ids)
+
+    def test_groups_with_too_few_subjects_skipped(self, mini_wesad):
+        lone_subject = int(mini_wesad.subject_ids[0])
+        results = evaluate_groups(
+            lambda seed: DecisionTreeClassifier(max_depth=3, seed=seed),
+            mini_wesad,
+            groups={"Lonely": lambda record: record.subject_id == lone_subject},
+            seed=0,
+        )
+        assert results == []
+
+    def test_group_accuracy_table_structure(self, mini_wesad):
+        table = group_accuracy_table(
+            {"Tree": lambda seed: DecisionTreeClassifier(max_depth=5, seed=seed)},
+            mini_wesad,
+            groups={"Everyone": lambda record: True},
+            seed=0,
+        )
+        assert "Tree" in table
+        assert "AVERAGE" in table["Tree"]
+        assert table["Tree"]["AVERAGE"] == pytest.approx(table["Tree"]["Everyone"])
+
+
+class TestSpectraAnalysis:
+    def test_kernel_shape_report_fields(self):
+        encoder = NonlinearEncoder(10, 500, rng=0)
+        report = kernel_shape_report(encoder)
+        assert report.dim == 500
+        assert report.in_features == 10
+        assert report.q == pytest.approx(10 / 500)
+        assert 0.0 < report.empirical_axis_ratio <= 1.0
+        assert report.empirical_sv_max >= report.empirical_sv_min
+
+    def test_axis_ratio_increases_with_dimension(self):
+        small = kernel_shape_report(NonlinearEncoder(10, 100, rng=0))
+        large = kernel_shape_report(NonlinearEncoder(10, 4000, rng=0))
+        assert large.empirical_axis_ratio > small.empirical_axis_ratio
+
+    def test_encoded_data_spread_keys_and_ranges(self, blobs):
+        X, _ = blobs
+        encoder = NonlinearEncoder(X.shape[1], 300, rng=0)
+        spread = encoded_data_spread(encoder, X[:40])
+        assert set(spread) == {"participation_ratio", "top10_variance_fraction"}
+        assert 0.0 <= spread["participation_ratio"] <= 1.0
+        assert 0.0 < spread["top10_variance_fraction"] <= 1.0

@@ -1,0 +1,207 @@
+"""Unit tests for the BoostHD ensemble, partitioning and BaggedHD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import NotFittedError
+from repro.core import (
+    BaggedHD,
+    BoostHD,
+    IndependentPartitioner,
+    SharedPartitioner,
+    split_dimensions,
+)
+
+
+class TestSplitDimensions:
+    def test_even_split(self):
+        assert split_dimensions(1000, 10) == [100] * 10
+
+    def test_uneven_split_sums_to_total(self):
+        chunks = split_dimensions(1003, 10)
+        assert sum(chunks) == 1003
+        assert max(chunks) - min(chunks) <= 1
+
+    def test_single_learner(self):
+        assert split_dimensions(512, 1) == [512]
+
+    def test_more_learners_than_dims_raises(self):
+        with pytest.raises(ValueError):
+            split_dimensions(5, 10)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            split_dimensions(0, 1)
+        with pytest.raises(ValueError):
+            split_dimensions(10, 0)
+
+
+class TestPartitioners:
+    def test_independent_factory_dims(self):
+        partitioner = IndependentPartitioner(300, 3)
+        factories = partitioner.encoder_factories(5, np.random.default_rng(0))
+        assert [factory().dim for factory in factories] == [100, 100, 100]
+
+    def test_independent_encoders_differ(self):
+        partitioner = IndependentPartitioner(200, 2)
+        factories = partitioner.encoder_factories(4, np.random.default_rng(0))
+        first, second = factories[0](), factories[1]()
+        assert not np.allclose(first.basis, second.basis)
+
+    def test_shared_slices_cover_parent(self):
+        partitioner = SharedPartitioner(90, 3)
+        factories = partitioner.encoder_factories(4, np.random.default_rng(0))
+        encoders = [factory() for factory in factories]
+        sample = np.array([0.1, 0.2, 0.3, 0.4])
+        concatenated = np.concatenate([encoder.encode(sample) for encoder in encoders])
+        assert concatenated.shape == (90,)
+        np.testing.assert_allclose(concatenated, encoders[0].parent.encode(sample))
+
+    def test_bandwidth_forwarded(self):
+        partitioner = IndependentPartitioner(100, 2, bandwidth=2.5)
+        factories = partitioner.encoder_factories(4, np.random.default_rng(0))
+        assert factories[0]().bandwidth == 2.5
+
+    def test_invalid_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            IndependentPartitioner(100, 2, bandwidth=0.0)
+
+
+class TestBoostHD:
+    def test_fits_blobs_accurately(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = BoostHD(total_dim=400, n_learners=4, epochs=3, seed=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_learner_count_and_dim(self, blobs):
+        X, y = blobs
+        model = BoostHD(total_dim=300, n_learners=5, epochs=1, seed=0).fit(X, y)
+        assert len(model.learners_) == 5
+        assert model.learner_dim == 60
+        assert all(learner.class_hypervectors_.shape[1] == 60 for learner in model.learners_)
+
+    def test_learner_weights_and_errors_recorded(self, blobs):
+        X, y = blobs
+        model = BoostHD(total_dim=200, n_learners=4, epochs=1, seed=0).fit(X, y)
+        assert model.learner_weights_.shape == (4,)
+        assert model.learner_errors_.shape == (4,)
+        assert np.all(model.learner_weights_ >= 0)
+        assert np.all((model.learner_errors_ >= 0) & (model.learner_errors_ <= 1))
+
+    def test_deterministic_with_seed(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        first = BoostHD(total_dim=200, n_learners=4, epochs=1, seed=9).fit(X_train, y_train)
+        second = BoostHD(total_dim=200, n_learners=4, epochs=1, seed=9).fit(X_train, y_train)
+        np.testing.assert_array_equal(first.predict(X_test), second.predict(X_test))
+
+    def test_vote_and_score_aggregation_both_work(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        for aggregation in ("vote", "score"):
+            model = BoostHD(
+                total_dim=300, n_learners=3, epochs=2, aggregation=aggregation, seed=0
+            ).fit(X_train, y_train)
+            assert model.score(X_test, y_test) > 0.8
+
+    def test_decision_function_shape(self, blobs):
+        X, y = blobs
+        model = BoostHD(total_dim=200, n_learners=2, epochs=1, seed=0).fit(X, y)
+        assert model.decision_function(X).shape == (len(X), 3)
+
+    def test_predict_proba_normalised(self, blobs):
+        X, y = blobs
+        model = BoostHD(total_dim=200, n_learners=2, epochs=1, seed=0).fit(X, y)
+        probabilities = model.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_class_hypervectors_concatenate_to_total_dim(self, blobs):
+        X, y = blobs
+        model = BoostHD(total_dim=240, n_learners=4, epochs=1, seed=0).fit(X, y)
+        assert model.class_hypervectors().shape == (3, 240)
+
+    def test_single_learner_degenerates_to_onlinehd_like(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = BoostHD(total_dim=300, n_learners=1, epochs=2, seed=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_uniform_blend_extremes(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        for blend in (0.0, 1.0):
+            model = BoostHD(
+                total_dim=200, n_learners=3, epochs=1, uniform_blend=blend, seed=0
+            ).fit(X_train, y_train)
+            assert model.score(X_test, y_test) > 0.7
+
+    def test_shared_partitioner_supported(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = BoostHD(
+            total_dim=300,
+            n_learners=3,
+            epochs=2,
+            partitioner=SharedPartitioner(300, 3),
+            seed=0,
+        ).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.8
+
+    def test_sample_weight_accepted(self, blobs):
+        X, y = blobs
+        weights = np.random.default_rng(0).uniform(0.5, 1.5, len(y))
+        model = BoostHD(total_dim=200, n_learners=2, epochs=1, seed=0)
+        model.fit(X, y, sample_weight=weights)
+        assert model.score(X, y) > 0.7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BoostHD(total_dim=100, n_learners=2).predict(np.ones((2, 4)))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BoostHD(total_dim=5, n_learners=10)
+        with pytest.raises(ValueError):
+            BoostHD(n_learners=0)
+        with pytest.raises(ValueError):
+            BoostHD(aggregation="mean")
+        with pytest.raises(ValueError):
+            BoostHD(uniform_blend=1.5)
+        with pytest.raises(ValueError):
+            BoostHD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            BoostHD(bandwidth=-1.0)
+
+    def test_boosting_reweights_hard_samples(self, blobs):
+        # After fitting, learners that came later should have been exposed to
+        # re-weighted data; the recorded errors must not be identical across
+        # all learners (which would indicate the weights never changed).
+        X, y = blobs
+        model = BoostHD(total_dim=300, n_learners=5, epochs=1, uniform_blend=0.0, seed=0).fit(X, y)
+        assert len(set(np.round(model.learner_errors_, 6))) > 1
+
+
+class TestBaggedHD:
+    def test_fits_blobs(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = BaggedHD(total_dim=300, n_learners=3, epochs=2, seed=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_learner_count(self, blobs):
+        X, y = blobs
+        model = BaggedHD(total_dim=200, n_learners=4, epochs=1, seed=0).fit(X, y)
+        assert len(model.learners_) == 4
+
+    def test_decision_function_is_vote_fraction(self, blobs):
+        X, y = blobs
+        model = BaggedHD(total_dim=200, n_learners=4, epochs=1, seed=0).fit(X, y)
+        scores = model.decision_function(X)
+        np.testing.assert_allclose(scores.sum(axis=1), 1.0)
+
+    def test_without_bootstrap(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = BaggedHD(total_dim=200, n_learners=3, epochs=1, bootstrap=False, seed=0).fit(
+            X_train, y_train
+        )
+        assert model.score(X_test, y_test) > 0.8
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BaggedHD(total_dim=5, n_learners=10)
+        with pytest.raises(ValueError):
+            BaggedHD(bandwidth=0.0)

@@ -1,0 +1,135 @@
+"""Unit tests for HDC encoders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import LevelIdEncoder, NonlinearEncoder, SlicedEncoder
+
+
+class TestNonlinearEncoder:
+    def test_output_shapes(self):
+        encoder = NonlinearEncoder(5, 100, rng=0)
+        assert encoder.encode(np.ones(5)).shape == (100,)
+        assert encoder.encode(np.ones((7, 5))).shape == (7, 100)
+
+    def test_deterministic_after_construction(self):
+        encoder = NonlinearEncoder(4, 64, rng=0)
+        sample = np.array([0.1, -0.2, 0.3, 0.4])
+        np.testing.assert_array_equal(encoder.encode(sample), encoder.encode(sample))
+
+    def test_same_seed_same_encoding(self):
+        sample = np.array([1.0, 2.0, 3.0])
+        first = NonlinearEncoder(3, 128, rng=11).encode(sample)
+        second = NonlinearEncoder(3, 128, rng=11).encode(sample)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        sample = np.array([1.0, 2.0, 3.0])
+        first = NonlinearEncoder(3, 128, rng=1).encode(sample)
+        second = NonlinearEncoder(3, 128, rng=2).encode(sample)
+        assert not np.allclose(first, second)
+
+    def test_values_bounded_by_one(self):
+        encoder = NonlinearEncoder(6, 256, rng=0)
+        encoded = encoder.encode(np.random.default_rng(0).standard_normal((10, 6)))
+        assert np.all(np.abs(encoded) <= 1.0)
+
+    def test_similar_inputs_have_similar_encodings(self):
+        encoder = NonlinearEncoder(6, 2000, rng=0)
+        base = np.full(6, 0.4)
+        near = base + 0.05
+        far = base + 5.0
+        from repro.hdc import cosine_similarity
+
+        assert cosine_similarity(encoder.encode(base), encoder.encode(near)) > cosine_similarity(
+            encoder.encode(base), encoder.encode(far)
+        )
+
+    def test_bandwidth_controls_smoothness(self):
+        from repro.hdc import cosine_similarity
+
+        base = np.full(6, 0.4)
+        near = base + 0.5
+        narrow = NonlinearEncoder(6, 2000, bandwidth=0.5, rng=0)
+        wide = NonlinearEncoder(6, 2000, bandwidth=4.0, rng=0)
+        assert cosine_similarity(wide.encode(base), wide.encode(near)) > cosine_similarity(
+            narrow.encode(base), narrow.encode(near)
+        )
+
+    def test_wrong_feature_count_raises(self):
+        encoder = NonlinearEncoder(5, 32, rng=0)
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(4))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            NonlinearEncoder(0, 10)
+        with pytest.raises(ValueError):
+            NonlinearEncoder(10, 0)
+        with pytest.raises(ValueError):
+            NonlinearEncoder(10, 10, bandwidth=0.0)
+
+    def test_callable_interface(self):
+        encoder = NonlinearEncoder(3, 16, rng=0)
+        sample = np.ones(3)
+        np.testing.assert_array_equal(encoder(sample), encoder.encode(sample))
+
+
+class TestSlicedEncoder:
+    def test_slice_matches_parent_block(self):
+        parent = NonlinearEncoder(4, 100, rng=0)
+        child = parent.slice(20, 50)
+        sample = np.array([0.5, -1.0, 0.2, 0.9])
+        np.testing.assert_array_equal(child.encode(sample), parent.encode(sample)[20:50])
+
+    def test_slice_dim(self):
+        parent = NonlinearEncoder(4, 100, rng=0)
+        assert parent.slice(0, 25).dim == 25
+
+    def test_invalid_slice_raises(self):
+        parent = NonlinearEncoder(4, 100, rng=0)
+        with pytest.raises(ValueError):
+            SlicedEncoder(parent, 50, 40)
+        with pytest.raises(ValueError):
+            SlicedEncoder(parent, 0, 101)
+
+    def test_contiguous_slices_cover_parent(self):
+        parent = NonlinearEncoder(4, 90, rng=0)
+        sample = np.array([1.0, 2.0, 3.0, 4.0])
+        parts = [parent.slice(i * 30, (i + 1) * 30).encode(sample) for i in range(3)]
+        np.testing.assert_allclose(np.concatenate(parts), parent.encode(sample))
+
+
+class TestLevelIdEncoder:
+    def test_output_shape(self):
+        encoder = LevelIdEncoder(5, 200, rng=0)
+        assert encoder.encode(np.full(5, 0.5)).shape == (200,)
+        assert encoder.encode(np.full((3, 5), 0.5)).shape == (3, 200)
+
+    def test_identical_inputs_identical_encodings(self):
+        encoder = LevelIdEncoder(4, 100, rng=0)
+        sample = np.array([0.1, 0.4, 0.7, 0.9])
+        np.testing.assert_array_equal(encoder.encode(sample), encoder.encode(sample))
+
+    def test_neighbouring_levels_more_similar_than_distant(self):
+        from repro.hdc import cosine_similarity
+
+        encoder = LevelIdEncoder(1, 4000, levels=16, rng=0)
+        low = encoder.encode(np.array([0.0]))
+        mid = encoder.encode(np.array([0.1]))
+        high = encoder.encode(np.array([1.0]))
+        assert cosine_similarity(low, mid) > cosine_similarity(low, high)
+
+    def test_values_outside_range_clipped(self):
+        encoder = LevelIdEncoder(2, 100, rng=0)
+        np.testing.assert_array_equal(
+            encoder.encode(np.array([-5.0, 10.0])), encoder.encode(np.array([0.0, 1.0]))
+        )
+
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            LevelIdEncoder(3, 50, levels=1)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            LevelIdEncoder(3, 50, feature_range=(1.0, 1.0))

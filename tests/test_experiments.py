@@ -1,0 +1,202 @@
+"""Unit tests for the experiment harness: config, registry, runner, reporting, tables, figures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdaBoostClassifier, MLPClassifier, RandomForestClassifier
+from repro.core import BoostHD
+from repro.experiments import (
+    FULL,
+    QUICK,
+    MODEL_NAMES,
+    build_model,
+    figure2_theory_terms,
+    format_mean_std,
+    format_series,
+    format_table,
+    get_scale,
+    model_builders,
+    run_model,
+    table1_accuracy,
+    table2_inference,
+)
+from repro.experiments.runner import ModelRunResult, SuiteResult
+from repro.experiments.tables import average_rank, table_winner_summary
+from repro.hdc import OnlineHD
+
+
+class TestConfig:
+    def test_quick_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert get_scale() is QUICK
+
+    def test_full_scale_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_scale() is FULL
+
+    def test_full_scale_matches_paper_parameters(self):
+        assert FULL.n_learners == 10
+        assert FULL.n_runs == 10
+        assert FULL.dnn_hidden == (2048, 1024, 512)
+        assert FULL.bitflip_trials == 100
+        assert FULL.wesad_subjects == 15
+        assert FULL.nurse_subjects == 37
+
+
+class TestRegistry:
+    def test_all_paper_models_listed(self):
+        assert MODEL_NAMES == ("AdaBoost", "RF", "XGBoost", "SVM", "DNN", "OnlineHD", "BoostHD")
+
+    def test_build_model_types(self):
+        assert isinstance(build_model("AdaBoost"), AdaBoostClassifier)
+        assert isinstance(build_model("RF"), RandomForestClassifier)
+        assert isinstance(build_model("DNN"), MLPClassifier)
+        assert isinstance(build_model("OnlineHD"), OnlineHD)
+        assert isinstance(build_model("BoostHD"), BoostHD)
+
+    def test_paper_hyperparameters(self):
+        adaboost = build_model("AdaBoost")
+        assert adaboost.n_estimators == 10 and adaboost.learning_rate == 1.0
+        forest = build_model("RF")
+        assert forest.n_estimators == 10 and forest.bootstrap
+        online = build_model("OnlineHD", scale=QUICK)
+        assert online.lr == pytest.approx(0.035)
+        boost = build_model("BoostHD", scale=QUICK)
+        assert boost.n_learners == QUICK.n_learners
+        assert boost.total_dim == QUICK.total_dim
+
+    def test_boosthd_weak_learner_dim_is_total_over_nl(self):
+        boost = build_model("BoostHD", scale=QUICK)
+        assert boost.learner_dim == QUICK.total_dim // QUICK.n_learners
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            build_model("ResNet")
+
+    def test_model_builders_are_seedable(self):
+        builders = model_builders(("RF",), QUICK)
+        first = builders["RF"](0)
+        second = builders["RF"](1)
+        assert first.seed == 0 and second.seed == 1
+
+
+class TestRunnerAndTables:
+    @pytest.fixture(scope="class")
+    def tiny_suite(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        results = {}
+        for dataset_name in ("A", "B"):
+            results[dataset_name] = {}
+            for model_name, builder in (
+                ("OnlineHD", lambda seed: OnlineHD(dim=80, epochs=1, seed=seed)),
+                ("BoostHD", lambda seed: BoostHD(total_dim=80, n_learners=2, epochs=1, seed=seed)),
+            ):
+                results[dataset_name][model_name] = run_model(
+                    builder,
+                    X_train,
+                    y_train,
+                    X_test,
+                    y_test,
+                    n_runs=2,
+                    model_name=model_name,
+                    dataset_name=dataset_name,
+                )
+        return SuiteResult(results=results)
+
+    def test_run_model_collects_runs_and_times(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        result = run_model(
+            lambda seed: OnlineHD(dim=60, epochs=1, seed=seed),
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+            n_runs=3,
+        )
+        assert isinstance(result, ModelRunResult)
+        assert result.accuracies.shape == (3,)
+        assert np.all(result.train_seconds > 0)
+        assert np.all(result.inference_seconds_per_query > 0)
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_suite_accessors(self, tiny_suite):
+        assert tiny_suite.datasets() == ["A", "B"]
+        assert tiny_suite.models() == ["OnlineHD", "BoostHD"]
+        assert tiny_suite.best_model("A") in ("OnlineHD", "BoostHD")
+
+    def test_table1_structure(self, tiny_suite):
+        data, text = table1_accuracy(tiny_suite)
+        assert set(data) == {"A", "B"}
+        assert set(data["A"]) == {"OnlineHD", "BoostHD"}
+        mean, std = data["A"]["OnlineHD"]
+        assert 0.0 <= mean <= 1.0 and std >= 0.0
+        assert "TABLE I" in text and "OnlineHD" in text
+
+    def test_table2_structure(self, tiny_suite):
+        data, text = table2_inference(tiny_suite)
+        assert data["A"]["OnlineHD"] > 0
+        assert "TABLE II" in text
+
+    def test_winner_summary_and_rank(self, tiny_suite):
+        data, _ = table1_accuracy(tiny_suite)
+        winners = table_winner_summary(data)
+        assert set(winners) == {"A", "B"}
+        ranks = average_rank(data)
+        assert set(ranks) == {"OnlineHD", "BoostHD"}
+        assert all(1.0 <= rank <= 2.0 for rank in ranks.values())
+
+
+class TestReporting:
+    def test_format_mean_std(self):
+        assert format_mean_std(0.9837, 0.0032) == "98.37 ± 0.32"
+
+    def test_format_table_contains_all_cells(self):
+        text = format_table(
+            [{"Model": "BoostHD", "Acc": "98.4"}, {"Model": "OnlineHD", "Acc": "96.4"}],
+            ["Model", "Acc"],
+            title="demo",
+        )
+        assert "BoostHD" in text and "96.4" in text and "demo" in text
+
+    def test_format_table_requires_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_format_series_alignment(self):
+        text = format_series([1, 2], {"acc": [0.5, 0.75]}, x_label="D")
+        assert "0.7500" in text
+
+    def test_format_series_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], {"acc": [0.5]})
+
+
+class TestFigureGenerators:
+    def test_figure2_terms(self):
+        table, text = figure2_theory_terms(np.linspace(1, 20, 5))
+        assert set(table) == {"q", "T1", "T2", "T3"}
+        assert "FIGURE 2" in text
+
+    def test_figure5_span_on_mini_dataset(self, mini_wesad):
+        from repro.experiments import figure5_span
+
+        results, text = figure5_span(
+            mini_wesad, total_dim=100, n_learners=2, epochs=1, seed=0
+        )
+        assert set(results) == {"OnlineHD", "BoostHD"}
+        assert "FIGURE 5" in text
+
+    def test_figure7_overfitting_on_mini_dataset(self, mini_wesad):
+        from repro.experiments import figure7_overfitting
+
+        results, text = figure7_overfitting(
+            mini_wesad,
+            keep_fractions=(1.0, 0.5),
+            total_dims=(100,),
+            n_learners=2,
+            epochs=1,
+            seed=0,
+        )
+        assert 100 in results
+        assert results[100]["OnlineHD"].shape == (2,)
+        assert "FIGURE 7" in text

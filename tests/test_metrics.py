@@ -1,0 +1,111 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    accuracy,
+    confusion_matrix,
+    macro_accuracy,
+    macro_f1,
+    median_absolute_deviation,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_zero(self):
+        assert accuracy(np.array([1, 1]), np.array([2, 2])) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 1])) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestMacroAccuracy:
+    def test_equals_accuracy_when_balanced_and_symmetric(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 0])
+        assert macro_accuracy(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_insensitive_to_majority_inflation(self):
+        # 90 majority correct, minority completely wrong: plain accuracy looks
+        # high, macro accuracy exposes the collapse.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.array([0] * 100)
+        assert accuracy(y_true, y_pred) == pytest.approx(0.9)
+        assert macro_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 2, 1])
+        assert macro_accuracy(y, y) == 1.0
+
+    def test_ignores_classes_absent_from_truth(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 2, 1, 2])
+        assert macro_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(y, y)
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_row_sums_equal_class_counts(self):
+        y_true = np.array([0, 0, 1, 2, 2, 2])
+        y_pred = np.array([0, 1, 1, 0, 2, 2])
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [2, 1, 3])
+
+    def test_explicit_label_order(self):
+        matrix = confusion_matrix(np.array([1]), np.array([1]), labels=np.array([0, 1, 2]))
+        assert matrix.shape == (3, 3)
+        assert matrix[1, 1] == 1
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_scores(self):
+        y = np.array(["a", "b", "a"])
+        scores = precision_recall_f1(y, y)
+        for precision, recall, f1 in scores.values():
+            assert precision == recall == f1 == 1.0
+
+    def test_undefined_precision_is_zero(self):
+        y_true = np.array([0, 0, 1])
+        y_pred = np.array([0, 0, 0])
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred)[1]
+        assert precision == 0.0 and recall == 0.0 and f1 == 0.0
+
+    def test_macro_f1_between_zero_and_one(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(0, 3, 50)
+        assert 0.0 <= macro_f1(y_true, y_pred) <= 1.0
+
+
+class TestMedianAbsoluteDeviation:
+    def test_constant_array_is_zero(self):
+        assert median_absolute_deviation(np.full(10, 3.0)) == 0.0
+
+    def test_known_value(self):
+        assert median_absolute_deviation(np.array([1.0, 2.0, 3.0, 4.0, 5.0])) == 1.0
+
+    def test_robust_to_outlier(self):
+        base = np.ones(99)
+        with_outlier = np.concatenate([base, [1000.0]])
+        assert median_absolute_deviation(with_outlier) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_absolute_deviation(np.array([]))

@@ -1,0 +1,121 @@
+"""Unit tests for the OnlineHD and CentroidHD classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import NotFittedError
+from repro.hdc import CentroidHD, NonlinearEncoder, OnlineHD
+
+
+class TestCentroidHD:
+    def test_fits_and_predicts_blobs(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = CentroidHD(dim=400, seed=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.8
+
+    def test_class_hypervector_shape(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = CentroidHD(dim=300, seed=0).fit(X_train, y_train)
+        assert model.class_hypervectors_.shape == (3, 300)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CentroidHD(dim=100).predict(np.ones((2, 4)))
+
+    def test_decision_function_shape(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = CentroidHD(dim=200, seed=0).fit(X_train, y_train)
+        assert model.decision_function(X_test).shape == (len(X_test), 3)
+
+    def test_sample_weight_changes_model(self, blobs):
+        X, y = blobs
+        uniform = CentroidHD(dim=200, seed=0).fit(X, y)
+        weights = np.where(y == 0, 10.0, 1.0)
+        weighted = CentroidHD(dim=200, seed=0).fit(X, y, sample_weight=weights)
+        assert not np.allclose(uniform.class_hypervectors_, weighted.class_hypervectors_)
+
+
+class TestOnlineHD:
+    def test_fits_and_predicts_blobs(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=400, epochs=3, seed=0).fit(X_train, y_train)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_adaptive_refit_improves_or_matches_centroid(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        encoder = NonlinearEncoder(X_train.shape[1], 300, rng=0)
+        centroid = CentroidHD(dim=300, encoder=encoder, seed=0).fit(X_train, y_train)
+        online = OnlineHD(dim=300, epochs=5, encoder=encoder, seed=0).fit(X_train, y_train)
+        assert online.score(X_train, y_train) >= centroid.score(X_train, y_train) - 1e-9
+
+    def test_deterministic_with_seed(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        first = OnlineHD(dim=200, epochs=2, seed=5).fit(X_train, y_train)
+        second = OnlineHD(dim=200, epochs=2, seed=5).fit(X_train, y_train)
+        np.testing.assert_array_equal(first.predict(X_test), second.predict(X_test))
+
+    def test_zero_epochs_is_pure_bundling(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = OnlineHD(dim=150, epochs=0, seed=0).fit(X_train, y_train)
+        assert model.class_hypervectors_.shape == (3, 150)
+
+    def test_predict_proba_rows_sum_to_one(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = OnlineHD(dim=200, epochs=2, seed=0).fit(X_train, y_train)
+        probabilities = model.predict_proba(X_test)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_predictions_are_known_classes(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = OnlineHD(dim=200, epochs=2, seed=0).fit(X_train, y_train)
+        assert set(np.unique(model.predict(X_test))) <= set(model.classes_)
+
+    def test_string_labels_supported(self, blobs):
+        X, y = blobs
+        labels = np.array(["neutral", "stress", "amusement"])[y]
+        model = OnlineHD(dim=200, epochs=2, seed=0).fit(X, labels)
+        assert set(np.unique(model.predict(X))) <= set(labels)
+
+    def test_sample_weight_bootstrap_path(self, blobs):
+        X, y = blobs
+        weights = np.random.default_rng(0).uniform(0.1, 1.0, size=len(y))
+        model = OnlineHD(dim=150, epochs=2, bootstrap=True, seed=0)
+        model.fit(X, y, sample_weight=weights)
+        assert model.score(X, y) > 0.7
+
+    def test_sample_weight_scaled_path(self, blobs):
+        X, y = blobs
+        weights = np.random.default_rng(0).uniform(0.1, 1.0, size=len(y))
+        model = OnlineHD(dim=150, epochs=2, bootstrap=False, seed=0)
+        model.fit(X, y, sample_weight=weights)
+        assert model.score(X, y) > 0.7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OnlineHD(dim=100).predict(np.ones((2, 3)))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            OnlineHD(dim=100, lr=0.0)
+        with pytest.raises(ValueError):
+            OnlineHD(dim=100, epochs=-1)
+        with pytest.raises(ValueError):
+            OnlineHD(dim=100, bandwidth=-1.0)
+
+    def test_mismatched_xy_raises(self):
+        with pytest.raises(ValueError):
+            OnlineHD(dim=50).fit(np.ones((10, 3)), np.zeros(9))
+
+    def test_nan_features_raise(self):
+        X = np.ones((10, 3))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            OnlineHD(dim=50).fit(X, np.zeros(10))
+
+    def test_two_class_problem(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 1, (30, 4)), rng.normal(2, 1, (30, 4))])
+        y = np.repeat([0, 1], 30)
+        model = OnlineHD(dim=300, epochs=3, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9

@@ -1,0 +1,128 @@
+"""Unit tests for preprocessing: scalers, label encoding, splits."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    subject_train_test_split,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, (200, 4))
+        transformed = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(transformed))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(scaler.transform(np.array([[5.0]])), [[0.0]])
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 5, (100, 3))
+        transformed = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(transformed.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(transformed.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_no_nan(self):
+        X = np.full((5, 2), 7.0)
+        assert np.all(np.isfinite(MinMaxScaler().fit_transform(X)))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        labels = np.array(["stress", "baseline", "amusement", "stress"])
+        encoder = LabelEncoder().fit(labels)
+        encoded = encoder.transform(labels)
+        np.testing.assert_array_equal(encoder.inverse_transform(encoded), labels)
+
+    def test_contiguous_integer_codes(self):
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform(np.array([10, 30, 20, 10]))
+        assert set(codes) == {0, 1, 2}
+
+    def test_unknown_label_raises(self):
+        encoder = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError):
+            encoder.transform(np.array(["c"]))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(np.array([1]))
+
+
+class TestTrainTestSplit:
+    def test_sizes_sum_to_total(self):
+        X = np.arange(100).reshape(50, 2)
+        y = np.repeat([0, 1], 25)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, rng=0)
+        assert len(X_train) + len(X_test) == 50
+        assert len(y_train) + len(y_test) == 50
+
+    def test_stratified_keeps_both_classes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.array([0] * 15 + [1] * 5)
+        _, _, _, y_test = train_test_split(X, y, test_fraction=0.25, stratify=True, rng=0)
+        assert set(np.unique(y_test)) == {0, 1}
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_fraction=1.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(3))
+
+
+class TestSubjectSplit:
+    def test_no_subject_overlap(self):
+        rng = np.random.default_rng(0)
+        subjects = np.repeat(np.arange(6), 10)
+        X = rng.standard_normal((60, 3))
+        y = rng.integers(0, 2, 60)
+        X_train, X_test, y_train, y_test = subject_train_test_split(
+            X, y, subjects, test_fraction=0.3, rng=0
+        )
+        train_rows = {tuple(row) for row in X_train}
+        test_rows = {tuple(row) for row in X_test}
+        assert not train_rows & test_rows
+        assert len(X_train) + len(X_test) == 60
+
+    def test_at_least_one_subject_each_side(self):
+        subjects = np.repeat([0, 1], 5)
+        X = np.random.default_rng(0).standard_normal((10, 2))
+        y = np.zeros(10)
+        X_train, X_test, _, _ = subject_train_test_split(X, y, subjects, test_fraction=0.9, rng=0)
+        assert len(X_train) > 0 and len(X_test) > 0
+
+    def test_single_subject_raises(self):
+        subjects = np.zeros(10)
+        with pytest.raises(ValueError):
+            subject_train_test_split(np.ones((10, 2)), np.ones(10), subjects)
+
+    def test_invalid_fraction_raises(self):
+        subjects = np.repeat([0, 1], 5)
+        with pytest.raises(ValueError):
+            subject_train_test_split(np.ones((10, 2)), np.ones(10), subjects, test_fraction=0.0)

@@ -1,0 +1,170 @@
+"""Unit tests for the synthetic signal simulator and the feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CHANNELS,
+    STRESS_LEVEL_STATES,
+    WESAD_STATES,
+    SignalSimulator,
+    SubjectPhysiology,
+    extract_features,
+    extract_window_features,
+    feature_names,
+    moving_average,
+)
+
+
+class TestSignalSimulator:
+    def test_window_shape(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=5, rng=0)
+        window = simulator.generate_window(WESAD_STATES[0])
+        assert window.shape == (len(CHANNELS), 80)
+
+    def test_batch_shape(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=5, rng=0)
+        windows = simulator.generate_windows(WESAD_STATES[1], 4)
+        assert windows.shape == (4, len(CHANNELS), 80)
+
+    def test_stress_has_higher_eda_than_baseline(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=10, rng=0)
+        eda_index = CHANNELS.index("EDA")
+        baseline = simulator.generate_windows(WESAD_STATES[0], 8)[:, eda_index].mean()
+        stress = simulator.generate_windows(WESAD_STATES[1], 8)[:, eda_index].mean()
+        assert stress > baseline
+
+    def test_stress_has_lower_temperature(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=10, rng=0)
+        temp_index = CHANNELS.index("TEMP")
+        baseline = simulator.generate_windows(WESAD_STATES[0], 6)[:, temp_index].mean()
+        stress = simulator.generate_windows(WESAD_STATES[1], 6)[:, temp_index].mean()
+        assert stress < baseline
+
+    def test_subject_offset_shifts_eda(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=10, rng=0)
+        eda_index = CHANNELS.index("EDA")
+        plain = simulator.generate_windows(WESAD_STATES[0], 6)[:, eda_index].mean()
+        shifted = simulator.generate_windows(
+            WESAD_STATES[0], 6, SubjectPhysiology(eda_offset=2.0)
+        )[:, eda_index].mean()
+        assert shifted > plain + 1.0
+
+    def test_class_overlap_shrinks_state_differences(self):
+        eda_index = CHANNELS.index("EDA")
+
+        def gap(overlap: float) -> float:
+            simulator = SignalSimulator(
+                sampling_rate=16, window_seconds=10, class_overlap=overlap, rng=0
+            )
+            baseline = simulator.generate_windows(WESAD_STATES[0], 6)[:, eda_index].mean()
+            stress = simulator.generate_windows(WESAD_STATES[1], 6)[:, eda_index].mean()
+            return stress - baseline
+
+        assert gap(0.8) < gap(0.0)
+
+    def test_random_subject_reproducible(self):
+        first = SignalSimulator(rng=5).random_subject()
+        second = SignalSimulator(rng=5).random_subject()
+        assert first == second
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SignalSimulator(sampling_rate=0)
+        with pytest.raises(ValueError):
+            SignalSimulator(window_seconds=0)
+        with pytest.raises(ValueError):
+            SignalSimulator(class_overlap=1.0)
+
+    def test_generate_windows_count_validation(self):
+        with pytest.raises(ValueError):
+            SignalSimulator(rng=0).generate_windows(WESAD_STATES[0], 0)
+
+    def test_state_catalogues(self):
+        assert [state.name for state in WESAD_STATES] == ["baseline", "stress", "amusement"]
+        assert [state.name for state in STRESS_LEVEL_STATES] == ["good", "common", "stress"]
+
+
+class TestMovingAverage:
+    def test_constant_signal_unchanged(self):
+        signal = np.full(50, 3.0)
+        np.testing.assert_allclose(moving_average(signal, 10), signal)
+
+    def test_window_one_is_identity(self):
+        signal = np.random.default_rng(0).standard_normal(20)
+        np.testing.assert_allclose(moving_average(signal, 1), signal)
+
+    def test_output_length_preserved(self):
+        signal = np.random.default_rng(0).standard_normal(100)
+        assert moving_average(signal, 30).shape == signal.shape
+
+    def test_smoothing_reduces_variance(self):
+        signal = np.random.default_rng(0).standard_normal(500)
+        assert moving_average(signal, 30).std() < signal.std()
+
+    def test_matches_manual_average_for_full_windows(self):
+        signal = np.arange(10.0)
+        smoothed = moving_average(signal, 3)
+        assert smoothed[5] == pytest.approx(np.mean(signal[3:6]))
+
+    def test_prefix_uses_partial_windows(self):
+        signal = np.arange(10.0)
+        smoothed = moving_average(signal, 4)
+        assert smoothed[0] == pytest.approx(0.0)
+        assert smoothed[1] == pytest.approx(0.5)
+
+    def test_multichannel_axis(self):
+        signal = np.random.default_rng(0).standard_normal((3, 40))
+        assert moving_average(signal, 5).shape == (3, 40)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(10), 0)
+
+
+class TestFeatureExtraction:
+    def test_window_feature_length(self):
+        window = np.random.default_rng(0).standard_normal((7, 100))
+        features = extract_window_features(window)
+        assert features.shape == (7 * 4,)
+
+    def test_batch_feature_shape(self):
+        windows = np.random.default_rng(0).standard_normal((5, 7, 100))
+        assert extract_features(windows).shape == (5, 28)
+
+    def test_batch_matches_per_window(self):
+        windows = np.random.default_rng(0).standard_normal((3, 4, 50))
+        batch = extract_features(windows, smoothing_window=5)
+        singles = np.vstack(
+            [extract_window_features(window, smoothing_window=5) for window in windows]
+        )
+        np.testing.assert_allclose(batch, singles)
+
+    def test_custom_statistics_subset(self):
+        windows = np.random.default_rng(0).standard_normal((2, 3, 30))
+        features = extract_features(windows, statistics=("mean", "std"))
+        assert features.shape == (2, 6)
+
+    def test_unknown_statistic_raises(self):
+        with pytest.raises(ValueError):
+            extract_features(np.ones((1, 2, 10)), statistics=("median",))
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            extract_features(np.ones((2, 10)))
+        with pytest.raises(ValueError):
+            extract_window_features(np.ones(10))
+
+    def test_feature_names_layout(self):
+        names = feature_names(["EDA", "BVP"], ("min", "max"))
+        assert names == ["EDA_min", "EDA_max", "BVP_min", "BVP_max"]
+
+    def test_feature_names_match_default_width(self):
+        assert len(feature_names(CHANNELS)) == len(CHANNELS) * 4
+
+    def test_min_leq_mean_leq_max(self):
+        windows = np.random.default_rng(0).standard_normal((4, 2, 60))
+        features = extract_features(windows, statistics=("min", "mean", "max"))
+        per_channel = features.reshape(4, 2, 3)
+        assert np.all(per_channel[..., 0] <= per_channel[..., 1] + 1e-12)
+        assert np.all(per_channel[..., 1] <= per_channel[..., 2] + 1e-12)

@@ -1,0 +1,95 @@
+"""Unit tests for hypervector similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    cosine_similarity,
+    dot_similarity,
+    hamming_similarity,
+    pairwise_cosine,
+    random_hypervector,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        vector = random_hypervector(256, rng=0)
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        vector = random_hypervector(256, rng=0)
+        assert cosine_similarity(vector, -vector) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        first = random_hypervector(128, rng=0)
+        second = random_hypervector(128, rng=1)
+        assert cosine_similarity(first, second) == pytest.approx(
+            cosine_similarity(3.5 * first, 0.2 * second)
+        )
+
+    def test_batch_shapes(self):
+        queries = random_hypervector(64, 5, rng=0)
+        references = random_hypervector(64, 3, rng=1)
+        assert cosine_similarity(queries, references).shape == (5, 3)
+
+    def test_vector_vs_batch_shape(self):
+        query = random_hypervector(64, rng=0)
+        references = random_hypervector(64, 3, rng=1)
+        assert cosine_similarity(query, references).shape == (3,)
+
+    def test_batch_vs_vector_shape(self):
+        queries = random_hypervector(64, 4, rng=0)
+        reference = random_hypervector(64, rng=1)
+        assert cosine_similarity(queries, reference).shape == (4,)
+
+    def test_zero_vector_does_not_nan(self):
+        result = cosine_similarity(np.zeros(10), np.ones(10))
+        assert np.isfinite(result)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.ones(4), np.ones(6))
+
+    def test_bounded_in_unit_interval(self):
+        queries = random_hypervector(32, 10, rng=0)
+        references = random_hypervector(32, 10, rng=1)
+        values = cosine_similarity(queries, references)
+        assert np.all(values <= 1.0 + 1e-12) and np.all(values >= -1.0 - 1e-12)
+
+
+class TestDotAndHamming:
+    def test_dot_similarity_matches_numpy(self):
+        first = random_hypervector(50, rng=0)
+        second = random_hypervector(50, rng=1)
+        assert dot_similarity(first, second) == pytest.approx(float(first @ second))
+
+    def test_hamming_identical(self):
+        vector = random_hypervector(100, flavour="bipolar", rng=0)
+        assert hamming_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_hamming_opposite(self):
+        vector = random_hypervector(100, flavour="bipolar", rng=0)
+        assert hamming_similarity(vector, -vector) == pytest.approx(0.0)
+
+    def test_hamming_random_near_half(self):
+        first = random_hypervector(10000, flavour="bipolar", rng=0)
+        second = random_hypervector(10000, flavour="bipolar", rng=1)
+        assert hamming_similarity(first, second) == pytest.approx(0.5, abs=0.05)
+
+    def test_hamming_batch_shape(self):
+        first = random_hypervector(64, 4, flavour="bipolar", rng=0)
+        second = random_hypervector(64, 2, flavour="bipolar", rng=1)
+        assert hamming_similarity(first, second).shape == (4, 2)
+
+
+class TestPairwiseCosine:
+    def test_symmetric_with_unit_diagonal(self):
+        batch = random_hypervector(128, 5, rng=0)
+        matrix = pairwise_cosine(batch)
+        assert matrix.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)

@@ -13,6 +13,9 @@ for Enhanced Reliability in Healthcare"* (DATE 2025) end to end on plain
 * :mod:`repro.data` — synthetic wearable stress-detection datasets standing in
   for WESAD / Nurse Stress / Stress-Predict, plus the imbalance and bit-flip
   perturbations the evaluation uses,
+* :mod:`repro.engine` — the fused batch-inference engine that compiles a
+  fitted ensemble into a single-pass scorer (stacked projections, one
+  block-diagonal-aware matmul, chunked streaming, optional encoding cache),
 * :mod:`repro.analysis` and :mod:`repro.experiments` — the harness that
   regenerates every table and figure of the evaluation section.
 
@@ -28,13 +31,16 @@ Quick start::
 
 from .core import BaggedHD, BoostHD
 from .data import load_nurse_stress, load_stress_predict, load_wesad
+from .engine import CompiledModel, compile_model
 from .hdc import CentroidHD, NonlinearEncoder, OnlineHD
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaggedHD",
     "BoostHD",
+    "CompiledModel",
+    "compile_model",
     "load_nurse_stress",
     "load_stress_predict",
     "load_wesad",

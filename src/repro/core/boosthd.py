@@ -14,6 +14,14 @@ AdaBoost-style sample re-weighting:
    scaled by ``α_i`` and the arg-max class wins — learners are independent at
    this point, so inference parallelises even though training is sequential.
 
+Because of that independence, a fitted ensemble can be *compiled* into the
+fused batch-inference engine (:mod:`repro.engine`) via :meth:`BoostHD.compile`:
+all weak-learner projections stack into one matrix, the batch is encoded once,
+and ensemble scores come from a single block-diagonal-aware matmul.  The
+compiled path is the fast production route; the per-learner loop in
+:meth:`BoostHD.decision_function` remains the reference implementation the
+engine is tested against.
+
 The paper's pseudocode writes the importance update loosely (``α = W_s · e``,
 ``W ← e^{α(y≠ŷ)}/ΣW``); this implementation uses the standard multi-class
 SAMME weighting (``α = ln((1-e)/e) + ln(K-1)``), which is the conventional
@@ -30,7 +38,32 @@ from ..baselines.base import BaseClassifier
 from ..hdc.onlinehd import OnlineHD
 from .partition import IndependentPartitioner, Partitioner
 
-__all__ = ["BoostHD"]
+__all__ = ["BoostHD", "effective_alphas"]
+
+#: Below this per-learner average the ensemble is considered degenerate:
+#: every learner was worse than chance and received the 1e-10 sentinel weight.
+_DEGENERATE_MEAN_ALPHA = 1e-8
+
+
+def effective_alphas(alphas: np.ndarray) -> tuple[np.ndarray, float]:
+    """Learner weights and normaliser actually used at inference time.
+
+    Normally returns ``(alphas, sum(alphas))``.  When *every* learner was
+    worse than chance, the stored importances are all the ``1e-10`` sentinel;
+    dividing the aggregated scores by their ~1e-9 sum would amplify
+    floating-point noise by nine orders of magnitude.  In that degenerate case
+    the ensemble falls back to a plain unweighted average: uniform weights
+    ``1/n`` with normaliser ``1.0``.
+
+    Shared by :meth:`BoostHD.decision_function` and the fused engine
+    (:mod:`repro.engine`) so both paths stay equivalent by construction.
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    n_learners = max(len(alphas), 1)
+    total = float(alphas.sum())
+    if total <= _DEGENERATE_MEAN_ALPHA * n_learners:
+        return np.full(len(alphas), 1.0 / n_learners), 1.0
+    return alphas, total
 
 
 class BoostHD(BaseClassifier):
@@ -198,8 +231,8 @@ class BoostHD(BaseClassifier):
         self._check_fitted("learners_")
         X = self._validate_predict_args(X)
         scores = np.zeros((len(X), len(self.classes_)))
-        total_alpha = float(np.sum(self.learner_weights_)) or 1.0
-        for learner, alpha in zip(self.learners_, self.learner_weights_):
+        alphas, total_alpha = effective_alphas(self.learner_weights_)
+        for learner, alpha in zip(self.learners_, alphas):
             if self.aggregation == "vote":
                 predictions = learner.predict(X)
                 columns = np.searchsorted(self.classes_, predictions)
@@ -220,6 +253,20 @@ class BoostHD(BaseClassifier):
     def predict(self, X: np.ndarray) -> np.ndarray:
         scores = self.decision_function(X)
         return self.classes_[np.argmax(scores, axis=1)]
+
+    def compile(self, **options):
+        """Compile the fitted ensemble into a fused batch scorer.
+
+        Returns a :class:`repro.engine.CompiledModel` whose ``predict`` /
+        ``decision_function`` match this model's loop path (same aggregation
+        semantics, scores equal to floating-point tolerance) while encoding
+        each batch once through a stacked projection.  Keyword ``options``
+        (``dtype``, ``chunk_size``, ``cache_size``) are forwarded to
+        :func:`repro.engine.compile_model`.
+        """
+        from ..engine import compile_model
+
+        return compile_model(self, **options)
 
     # -------------------------------------------------------------- analysis
     def class_hypervectors(self) -> np.ndarray:

@@ -1,0 +1,45 @@
+"""Fused batch-inference engine for HDC ensembles.
+
+BoostHD's weak learners are independent at inference time, so an ensemble of
+``n_learners`` small projections is algebraically one big projection: this
+subpackage compiles a fitted :class:`~repro.core.BoostHD` (or a single
+:class:`~repro.hdc.OnlineHD`) into a :class:`CompiledModel` that encodes a
+batch once through a stacked ``(D_total, f)`` basis, evaluates the
+trigonometric activation with a single fused transcendental, and aggregates
+ensemble scores with one block-diagonal-aware matmul.
+
+Layout:
+
+* :mod:`repro.engine.compile` — model introspection and the fused scorer,
+* :mod:`repro.engine.batching` — chunked streaming for batches whose encoded
+  matrix would not fit in memory,
+* :mod:`repro.engine.cache` — optional LRU memoisation of encoded chunks for
+  repeated windows.
+
+Quick start::
+
+    model = BoostHD(total_dim=10_000, n_learners=10, seed=0).fit(X_train, y_train)
+    engine = model.compile()            # float32, no chunking, no cache
+    predictions = engine.predict(X)     # identical to model.predict(X), much faster
+
+The equivalence contract with the loop path is enforced by
+``tests/test_engine.py`` across dtypes, chunk sizes, aggregation modes and
+partitioners.
+"""
+
+from .batching import auto_chunk_size, iter_batches, resolve_chunk_size
+from .cache import CacheStats, LRUCache, array_fingerprint
+from .compile import CompiledModel, EngineError, LearnerBlock, compile_model
+
+__all__ = [
+    "CompiledModel",
+    "EngineError",
+    "LearnerBlock",
+    "compile_model",
+    "auto_chunk_size",
+    "iter_batches",
+    "resolve_chunk_size",
+    "CacheStats",
+    "LRUCache",
+    "array_fingerprint",
+]

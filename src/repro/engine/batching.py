@@ -1,0 +1,70 @@
+"""Chunked streaming of large inference batches.
+
+The fused engine materialises an ``(n, D_total)`` encoded matrix per batch;
+at production scale (millions of queries against a 10 000-dimensional model)
+that matrix does not fit in memory, so :class:`~repro.engine.CompiledModel`
+streams the batch through fixed-size chunks.  This module owns the chunking
+policy:
+
+* an explicit integer ``chunk_size`` is used as-is,
+* ``None`` processes the whole batch in one pass (fastest when it fits),
+* ``"auto"`` picks the largest chunk whose encoded matrix stays under a
+  memory budget (default 256 MiB), which keeps peak memory flat regardless
+  of batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = ["ChunkSize", "auto_chunk_size", "iter_batches", "resolve_chunk_size"]
+
+ChunkSize = Union[int, str, None]
+
+#: Default budget for the encoded ``(chunk, D_total)`` matrix under "auto".
+DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def auto_chunk_size(
+    total_dim: int,
+    itemsize: int,
+    *,
+    budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> int:
+    """Largest chunk whose encoded matrix fits in ``budget_bytes``.
+
+    Always returns at least 1 so degenerate budgets still make progress.
+    """
+    if total_dim < 1:
+        raise ValueError(f"total_dim must be >= 1, got {total_dim}")
+    if itemsize < 1:
+        raise ValueError(f"itemsize must be >= 1, got {itemsize}")
+    return max(1, budget_bytes // (total_dim * itemsize))
+
+
+def resolve_chunk_size(
+    chunk_size: ChunkSize,
+    n_samples: int,
+    *,
+    total_dim: int,
+    itemsize: int,
+) -> int:
+    """Turn a chunk-size policy into a concrete positive integer."""
+    if chunk_size is None:
+        return max(n_samples, 1)
+    if chunk_size == "auto":
+        return auto_chunk_size(total_dim, itemsize)
+    size = int(chunk_size)
+    if size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return size
+
+
+def iter_batches(n_samples: int, chunk_size: int) -> Iterator[slice]:
+    """Yield contiguous row slices covering ``[0, n_samples)`` in order."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, n_samples, chunk_size):
+        yield slice(start, min(start + chunk_size, n_samples))

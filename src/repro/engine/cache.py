@@ -1,0 +1,103 @@
+"""LRU cache of encoded hypervector chunks.
+
+Wearable stress-monitoring pipelines repeatedly score the same sliding
+windows (overlapping windows, retries, multi-model ensembles sharing one
+encoder budget).  Encoding — the random projection plus the trigonometric
+activation — dominates fused-inference cost, so
+:class:`~repro.engine.CompiledModel` can optionally memoise encoded chunks
+keyed by the exact bytes of the input chunk.
+
+The cache stores the *raw* encoded matrix; scorers must copy before mutating
+(the engine does).  Hit/miss counters are exposed for observability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["CacheStats", "LRUCache", "array_fingerprint"]
+
+
+def array_fingerprint(array: np.ndarray) -> bytes:
+    """Content digest of an array: dtype, shape and raw bytes.
+
+    Two arrays collide only on a SHA-1 collision, which is negligible next to
+    the float round-trip noise of re-encoding.
+    """
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.sha1()
+    digest.update(str(contiguous.dtype).encode())
+    digest.update(str(contiguous.shape).encode())
+    digest.update(contiguous.tobytes())
+    return digest.digest()
+
+
+class CacheStats:
+    """Mutable hit/miss/eviction counters for one cache instance."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, hit_rate={self.hit_rate:.3f})"
+        )
+
+
+class LRUCache:
+    """Least-recently-used mapping from fingerprints to encoded chunks.
+
+    ``maxsize`` bounds the number of cached chunks (not bytes); with the
+    engine's fixed chunking every entry has the same shape, so the byte
+    footprint is ``maxsize * chunk_size * total_dim * itemsize``.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """Return the cached array for ``key`` (marking it recent) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        """Insert ``value``, evicting the least-recently-used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()

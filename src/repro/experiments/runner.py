@@ -24,13 +24,21 @@ __all__ = ["ModelRunResult", "SuiteResult", "run_model", "run_suite", "load_data
 
 @dataclass(frozen=True)
 class ModelRunResult:
-    """Accuracy/timing summary of one model on one dataset."""
+    """Accuracy/timing summary of one model on one dataset.
+
+    ``engine_inference_seconds_per_query`` is populated for models that can
+    be compiled into the fused batch engine (:mod:`repro.engine`) — i.e.
+    OnlineHD and BoostHD — and holds the per-query time of the compiled
+    scorer on the same test batch, so Table II can report the loop-vs-fused
+    speedup alongside the paper's loop-path numbers.
+    """
 
     model_name: str
     dataset_name: str
     accuracies: np.ndarray
     train_seconds: np.ndarray
     inference_seconds_per_query: np.ndarray
+    engine_inference_seconds_per_query: np.ndarray | None = None
 
     @property
     def mean_accuracy(self) -> float:
@@ -47,6 +55,20 @@ class ModelRunResult:
     @property
     def mean_inference_per_query(self) -> float:
         return float(np.mean(self.inference_seconds_per_query))
+
+    @property
+    def mean_engine_inference_per_query(self) -> float | None:
+        if self.engine_inference_seconds_per_query is None:
+            return None
+        return float(np.mean(self.engine_inference_seconds_per_query))
+
+    @property
+    def fused_speedup(self) -> float | None:
+        """Loop-path time divided by fused-engine time (>1 means faster)."""
+        engine_mean = self.mean_engine_inference_per_query
+        if engine_mean is None or engine_mean <= 0:
+            return None
+        return self.mean_inference_per_query / engine_mean
 
 
 @dataclass(frozen=True)
@@ -79,11 +101,19 @@ def run_model(
     model_name: str = "model",
     dataset_name: str = "dataset",
     metric: Callable[[np.ndarray, np.ndarray], float] = accuracy,
+    engine: bool = True,
 ) -> ModelRunResult:
-    """Train/evaluate ``n_runs`` instances of one model, timing each phase."""
+    """Train/evaluate ``n_runs`` instances of one model, timing each phase.
+
+    With ``engine=True`` (default), models exposing a ``compile()`` hook are
+    additionally compiled into the fused batch engine after fitting, and the
+    compiled scorer's inference over the same test batch is timed so the
+    loop-vs-fused speedup can be reported.  Models whose encoders cannot be
+    fused simply skip the engine column.
+    """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    accuracies, train_times, query_times = [], [], []
+    accuracies, train_times, query_times, engine_times = [], [], [], []
     for run in range(n_runs):
         model = build(run)
         start = time.perf_counter()
@@ -95,12 +125,28 @@ def run_model(
         elapsed = time.perf_counter() - start
         query_times.append(elapsed / max(len(X_test), 1))
         accuracies.append(metric(y_test, predictions))
+
+        if engine and hasattr(model, "compile"):
+            from ..engine import EngineError
+
+            try:
+                compiled = model.compile()
+            except EngineError:
+                engine = False
+                continue
+            start = time.perf_counter()
+            compiled.predict(X_test)
+            elapsed = time.perf_counter() - start
+            engine_times.append(elapsed / max(len(X_test), 1))
     return ModelRunResult(
         model_name=model_name,
         dataset_name=dataset_name,
         accuracies=np.asarray(accuracies),
         train_seconds=np.asarray(train_times),
         inference_seconds_per_query=np.asarray(query_times),
+        engine_inference_seconds_per_query=(
+            np.asarray(engine_times) if engine_times else None
+        ),
     )
 
 

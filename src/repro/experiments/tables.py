@@ -48,10 +48,14 @@ def table1_accuracy(suite: SuiteResult) -> tuple[dict[str, dict[str, tuple[float
 def table2_inference(suite: SuiteResult) -> tuple[dict[str, dict[str, float]], str]:
     """Table II: inference time per query (1e-5 seconds) for every model.
 
-    Returns ``({dataset: {model: seconds_per_query}}, formatted_text)``.
+    Returns ``({dataset: {model: seconds_per_query}}, formatted_text)``.  For
+    models the runner also timed through the fused batch engine
+    (:mod:`repro.engine`), ``data`` gains ``"{model} (fused)"`` entries and
+    the text gains a loop-vs-fused speedup footer.
     """
     data: dict[str, dict[str, float]] = {}
     rows = []
+    fused_lines = []
     models = suite.models()
     for dataset_name in suite.datasets():
         cells = suite.results[dataset_name]
@@ -62,11 +66,25 @@ def table2_inference(suite: SuiteResult) -> tuple[dict[str, dict[str, float]], s
         for model in models:
             row[model] = f"{data[dataset_name][model] / 1e-5:.1f}"
         rows.append(row)
+        for model in models:
+            result = cells[model]
+            engine_mean = result.mean_engine_inference_per_query
+            if engine_mean is None:
+                continue
+            data[dataset_name][f"{model} (fused)"] = engine_mean
+            fused_lines.append(
+                f"  {dataset_name} / {model}: loop "
+                f"{result.mean_inference_per_query / 1e-5:.1f} -> fused "
+                f"{engine_mean / 1e-5:.1f} (1e-5 s/query, "
+                f"{result.fused_speedup:.1f}x speedup)"
+            )
     text = format_table(
         rows,
         ["Dataset", *models],
         title="TABLE II — Inference time (1e-5 seconds per query)",
     )
+    if fused_lines:
+        text += "\nFused-engine inference (repro.engine):\n" + "\n".join(fused_lines)
     return data, text
 
 

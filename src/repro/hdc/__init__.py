@@ -8,7 +8,13 @@ uses as its weak learner, and model quantisation utilities.
 """
 
 from .centroid import CentroidHD
-from .encoder import Encoder, LevelIdEncoder, NonlinearEncoder, SlicedEncoder
+from .encoder import (
+    Encoder,
+    LevelIdEncoder,
+    NonlinearEncoder,
+    ProjectionParams,
+    SlicedEncoder,
+)
 from .hypervector import (
     as_batch,
     binarize,
@@ -39,6 +45,7 @@ __all__ = [
     "Encoder",
     "LevelIdEncoder",
     "NonlinearEncoder",
+    "ProjectionParams",
     "SlicedEncoder",
     "OnlineHD",
     "FixedPointFormat",

@@ -23,6 +23,7 @@ Two additional classic HDC encoders are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import NamedTuple
 
 import numpy as np
 
@@ -33,7 +34,24 @@ __all__ = [
     "NonlinearEncoder",
     "LevelIdEncoder",
     "SlicedEncoder",
+    "ProjectionParams",
 ]
+
+
+class ProjectionParams(NamedTuple):
+    """Linear-algebra internals of a trigonometric random-projection encoder.
+
+    ``basis`` is the *pre-scaled* projection matrix of shape ``(dim,
+    in_features)`` (bandwidth normalisation already folded in) and ``bias`` the
+    phase vector of shape ``(dim,)``, so that the encoding of a batch ``X`` is
+    exactly ``cos(X @ basis.T + bias) * sin(X @ basis.T)``.  The fused
+    inference engine (:mod:`repro.engine`) stacks these blocks from every weak
+    learner into one projection and encodes a batch once for the whole
+    ensemble.
+    """
+
+    basis: np.ndarray
+    bias: np.ndarray
 
 
 class Encoder(ABC):
@@ -133,6 +151,16 @@ class NonlinearEncoder(Encoder):
         """Return a view encoder restricted to dimensions ``[start, stop)``."""
         return SlicedEncoder(self, start, stop)
 
+    def projection_params(self) -> ProjectionParams:
+        """Stackable ``(basis, bias)`` with the bandwidth scale folded in.
+
+        The returned basis is ``self.basis * _projection_scale``, so consumers
+        can compute ``X @ basis.T`` directly without knowing the bandwidth.
+        """
+        return ProjectionParams(
+            basis=self.basis * self._projection_scale, bias=self.bias.copy()
+        )
+
 
 class SlicedEncoder(Encoder):
     """Encoder exposing a contiguous dimension slice of a parent encoder.
@@ -155,6 +183,35 @@ class SlicedEncoder(Encoder):
     def encode(self, features: np.ndarray) -> np.ndarray:
         encoded = self.parent.encode(features)
         return encoded[..., self.start : self.stop]
+
+    def flatten(self) -> tuple[Encoder, int, int]:
+        """Resolve nested slices to ``(root_encoder, start, stop)``.
+
+        A slice of a slice collapses into a single offset into the innermost
+        non-sliced encoder, which is what the fused engine needs both to
+        extract the right projection rows and to detect when several weak
+        learners share one parent projection.
+        """
+        encoder: Encoder = self
+        start, stop = self.start, self.stop
+        while isinstance(encoder, SlicedEncoder):
+            parent = encoder.parent
+            if isinstance(parent, SlicedEncoder):
+                start += parent.start
+                stop += parent.start
+            encoder = parent
+        return encoder, start, stop
+
+    def projection_params(self) -> ProjectionParams:
+        """Projection rows ``[start, stop)`` of the flattened root encoder."""
+        root, start, stop = self.flatten()
+        if not hasattr(root, "projection_params"):
+            raise TypeError(
+                f"{type(root).__name__} does not expose projection parameters; "
+                "only trigonometric random-projection encoders can be fused"
+            )
+        basis, bias = root.projection_params()
+        return ProjectionParams(basis=basis[start:stop], bias=bias[start:stop])
 
 
 class LevelIdEncoder(Encoder):

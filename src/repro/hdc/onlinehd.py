@@ -167,3 +167,17 @@ class OnlineHD(BaseClassifier):
     def predict(self, X: np.ndarray) -> np.ndarray:
         scores = self.decision_function(X)
         return self.classes_[np.argmax(scores, axis=1)]
+
+    def compile(self, **options):
+        """Compile the fitted model into a fused batch scorer.
+
+        A single OnlineHD model compiles as a one-learner ensemble: the
+        returned :class:`repro.engine.CompiledModel` reproduces
+        :meth:`decision_function` (cosine similarities) and :meth:`predict`
+        with the engine's fused encoding, configurable ``dtype``, chunked
+        streaming and optional encoding cache.  Keyword ``options`` are
+        forwarded to :func:`repro.engine.compile_model`.
+        """
+        from ..engine import compile_model
+
+        return compile_model(self, **options)

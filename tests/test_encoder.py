@@ -133,3 +133,36 @@ class TestLevelIdEncoder:
     def test_invalid_range_raises(self):
         with pytest.raises(ValueError):
             LevelIdEncoder(3, 50, feature_range=(1.0, 1.0))
+
+
+class TestProjectionParams:
+    def test_encoding_reconstructed_from_params(self):
+        encoder = NonlinearEncoder(6, 40, bandwidth=1.5, rng=0)
+        basis, bias = encoder.projection_params()
+        X = np.random.default_rng(1).standard_normal((5, 6))
+        projected = X @ basis.T
+        expected = np.cos(projected + bias) * np.sin(projected)
+        np.testing.assert_allclose(encoder.encode(X), expected, atol=1e-12)
+
+    def test_sliced_params_match_parent_rows(self):
+        parent = NonlinearEncoder(4, 30, rng=0)
+        child = parent.slice(10, 25)
+        basis, bias = child.projection_params()
+        parent_basis, parent_bias = parent.projection_params()
+        np.testing.assert_allclose(basis, parent_basis[10:25])
+        np.testing.assert_allclose(bias, parent_bias[10:25])
+
+    def test_nested_slice_flattens_to_root(self):
+        parent = NonlinearEncoder(4, 60, rng=0)
+        inner = parent.slice(10, 50)
+        outer = SlicedEncoder(inner, 5, 20)
+        root, start, stop = outer.flatten()
+        assert root is parent and (start, stop) == (15, 30)
+        basis, _ = outer.projection_params()
+        np.testing.assert_allclose(basis, parent.projection_params().basis[15:30])
+
+    def test_unfusable_root_raises(self):
+        level = LevelIdEncoder(3, 50, rng=0)
+        sliced = SlicedEncoder(level, 0, 10)
+        with pytest.raises(TypeError, match="projection parameters"):
+            sliced.projection_params()

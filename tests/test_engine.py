@@ -1,0 +1,316 @@
+"""Equivalence contract of the fused batch-inference engine.
+
+The engine (:mod:`repro.engine`) must reproduce the per-learner loop path of
+``BoostHD.decision_function`` / ``OnlineHD.decision_function``: identical
+predictions and scores within floating-point tolerance, across dtypes, chunk
+sizes, both aggregation modes and both partitioners, with and without the
+encoding cache.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BoostHD, IndependentPartitioner, SharedPartitioner
+from repro.core.boosthd import effective_alphas
+from repro.engine import (
+    CompiledModel,
+    EngineError,
+    LRUCache,
+    auto_chunk_size,
+    compile_model,
+    iter_batches,
+    resolve_chunk_size,
+)
+from repro.hdc import LevelIdEncoder, OnlineHD
+
+TOTAL_DIM = 120
+N_LEARNERS = 4
+
+
+def make_boosthd(blobs_split, *, aggregation="score", shared=False, **kwargs):
+    X_train, _, y_train, _ = blobs_split
+    partitioner = (
+        SharedPartitioner(TOTAL_DIM, N_LEARNERS, bandwidth=1.5) if shared else None
+    )
+    model = BoostHD(
+        total_dim=TOTAL_DIM,
+        n_learners=N_LEARNERS,
+        epochs=2,
+        aggregation=aggregation,
+        partitioner=partitioner,
+        seed=3,
+        **kwargs,
+    )
+    return model.fit(X_train, y_train)
+
+
+class TestBoostHDEquivalence:
+    @pytest.mark.parametrize("aggregation", ["score", "vote"])
+    @pytest.mark.parametrize("shared", [False, True])
+    @pytest.mark.parametrize("chunk_size", [None, 7, "auto"])
+    def test_matches_loop_path_float64(self, blobs_split, aggregation, shared, chunk_size):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split, aggregation=aggregation, shared=shared)
+        engine = model.compile(dtype=np.float64, chunk_size=chunk_size)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test), model.decision_function(X_test), atol=1e-9
+        )
+        assert np.array_equal(engine.predict(X_test), model.predict(X_test))
+
+    @pytest.mark.parametrize("aggregation", ["score", "vote"])
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_matches_loop_path_float32(self, blobs_split, aggregation, shared):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split, aggregation=aggregation, shared=shared)
+        engine = model.compile(dtype=np.float32)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test), model.decision_function(X_test), atol=1e-4
+        )
+        assert np.array_equal(engine.predict(X_test), model.predict(X_test))
+
+    def test_predict_proba_matches(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.predict_proba(X_test), model.predict_proba(X_test), atol=1e-9
+        )
+
+    def test_encode_matches_per_learner_encoders(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64)
+        encoded = engine.encode(X_test)
+        start = 0
+        for learner in model.learners_:
+            stop = start + learner.encoder.dim
+            np.testing.assert_allclose(
+                encoded[:, start:stop], learner.encoder.encode(X_test), atol=1e-9
+            )
+            start = stop
+        assert stop == engine.total_dim
+
+    def test_shared_projection_detected(self, blobs_split):
+        assert make_boosthd(blobs_split, shared=True).compile().shared_projection
+        assert not make_boosthd(blobs_split, shared=False).compile().shared_projection
+
+    def test_partitioners_declare_shared_projection(self):
+        assert SharedPartitioner(40, 2).shared_projection is True
+        assert IndependentPartitioner(40, 2).shared_projection is False
+
+    def test_single_sample_vector_input(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test[0]),
+            model.decision_function(X_test[0]),
+            atol=1e-9,
+        )
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(
+        seed=st.integers(0, 2**16),
+        chunk_size=st.sampled_from([None, 3, 8, "auto"]),
+        aggregation=st.sampled_from(["score", "vote"]),
+        shared=st.booleans(),
+    )
+    def test_property_equivalence(self, seed, chunk_size, aggregation, shared):
+        rng = np.random.default_rng(seed)
+        centers = rng.standard_normal((3, 5)) * 3.0
+        X = np.vstack([center + rng.standard_normal((12, 5)) for center in centers])
+        y = np.repeat(np.arange(3), 12)
+        partitioner = SharedPartitioner(60, 3, bandwidth=1.5) if shared else None
+        model = BoostHD(
+            total_dim=60,
+            n_learners=3,
+            epochs=1,
+            aggregation=aggregation,
+            partitioner=partitioner,
+            seed=seed,
+        ).fit(X, y)
+        engine = model.compile(dtype=np.float64, chunk_size=chunk_size)
+        np.testing.assert_allclose(
+            engine.decision_function(X), model.decision_function(X), atol=1e-9
+        )
+        assert np.array_equal(engine.predict(X), model.predict(X))
+
+
+class TestOnlineHDEquivalence:
+    def test_matches_decision_function(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = OnlineHD(dim=100, epochs=2, seed=1).fit(X_train, y_train)
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test), model.decision_function(X_test), atol=1e-9
+        )
+        assert np.array_equal(engine.predict(X_test), model.predict(X_test))
+
+    def test_compile_model_function(self, blobs_split):
+        X_train, X_test, y_train, _ = blobs_split
+        model = OnlineHD(dim=80, epochs=1, seed=0).fit(X_train, y_train)
+        engine = compile_model(model, dtype=np.float32, chunk_size=5)
+        assert isinstance(engine, CompiledModel)
+        assert np.array_equal(engine.predict(X_test), model.predict(X_test))
+
+
+class TestDegenerateEnsembleGuard:
+    def test_effective_alphas_normal(self):
+        alphas = np.array([0.5, 1.5])
+        weights, total = effective_alphas(alphas)
+        np.testing.assert_allclose(weights, alphas)
+        assert total == 2.0
+
+    def test_effective_alphas_degenerate_falls_back_to_uniform(self):
+        weights, total = effective_alphas(np.full(4, 1e-10))
+        np.testing.assert_allclose(weights, 0.25)
+        assert total == 1.0
+
+    def test_all_worse_than_chance_scores_stay_bounded(self, blobs_split):
+        """Regression: scores must not be amplified by dividing by ~1e-9.
+
+        When every learner is worse than chance all stored importances are
+        the 1e-10 sentinel; the old ``scores / total_alpha`` normalisation
+        multiplied the aggregated scores by ~1e9.  The guard now averages the
+        learners uniformly, keeping cosine-scale scores in [-1, 1].
+        """
+        model = make_boosthd(blobs_split)
+        model.learner_weights_ = np.full(N_LEARNERS, 1e-10)
+        _, X_test, _, _ = blobs_split
+        scores = model.decision_function(X_test)
+        assert np.all(np.abs(scores) <= 1.0 + 1e-9)
+        expected = np.mean(
+            [
+                learner.decision_function(X_test)[
+                    :, np.searchsorted(model.classes_, learner.classes_)
+                ]
+                for learner in model.learners_
+            ],
+            axis=0,
+        )
+        np.testing.assert_allclose(scores, expected, atol=1e-12)
+
+    def test_engine_matches_degenerate_loop_path(self, blobs_split):
+        model = make_boosthd(blobs_split)
+        model.learner_weights_ = np.full(N_LEARNERS, 1e-10)
+        _, X_test, _, _ = blobs_split
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test), model.decision_function(X_test), atol=1e-9
+        )
+
+
+class TestCache:
+    def test_cache_hits_preserve_results(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64, cache_size=8)
+        first = engine.decision_function(X_test)
+        second = engine.decision_function(X_test)
+        assert engine.cache.stats.hits >= 1
+        np.testing.assert_allclose(first, second, atol=0)
+        np.testing.assert_allclose(first, model.decision_function(X_test), atol=1e-9)
+
+    def test_cache_hits_with_chunking(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64, chunk_size=5, cache_size=32)
+        baseline = model.decision_function(X_test)
+        for _ in range(3):
+            np.testing.assert_allclose(
+                engine.decision_function(X_test), baseline, atol=1e-9
+            )
+        assert engine.cache.stats.hit_rate > 0.5
+
+    def test_distinct_inputs_not_conflated(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64, cache_size=8)
+        engine.decision_function(X_test)
+        shifted = X_test + 0.1
+        np.testing.assert_allclose(
+            engine.decision_function(shifted),
+            model.decision_function(shifted),
+            atol=1e-9,
+        )
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put(b"a", np.zeros(1))
+        cache.put(b"b", np.ones(1))
+        assert cache.get(b"a") is not None
+        cache.put(b"c", np.ones(1) * 2)  # evicts b (least recently used)
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestBatching:
+    def test_iter_batches_covers_range(self):
+        slices = list(iter_batches(10, 3))
+        assert [s.start for s in slices] == [0, 3, 6, 9]
+        assert slices[-1].stop == 10
+
+    def test_iter_batches_single_chunk(self):
+        assert list(iter_batches(5, 100)) == [slice(0, 5)]
+
+    def test_resolve_chunk_size(self):
+        assert resolve_chunk_size(None, 42, total_dim=10, itemsize=8) == 42
+        assert resolve_chunk_size(7, 42, total_dim=10, itemsize=8) == 7
+        auto = resolve_chunk_size("auto", 42, total_dim=10, itemsize=8)
+        assert auto == auto_chunk_size(10, 8)
+
+    def test_auto_chunk_size_respects_budget(self):
+        assert auto_chunk_size(1000, 4, budget_bytes=4_000_000) == 1000
+        assert auto_chunk_size(10**9, 8) == 1  # never returns zero
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            resolve_chunk_size(0, 10, total_dim=10, itemsize=8)
+        with pytest.raises(ValueError):
+            list(iter_batches(10, 0))
+
+
+class TestCompileErrors:
+    def test_unfitted_boosthd_raises(self):
+        with pytest.raises(EngineError, match="unfitted"):
+            compile_model(BoostHD(total_dim=40, n_learners=2))
+
+    def test_unfitted_onlinehd_raises(self):
+        with pytest.raises(EngineError, match="unfitted"):
+            compile_model(OnlineHD(dim=40))
+
+    def test_unsupported_model_raises(self):
+        with pytest.raises(EngineError, match="expected BoostHD or OnlineHD"):
+            compile_model(object())
+
+    def test_unfusable_encoder_raises(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        encoder = LevelIdEncoder(X_train.shape[1], 50, feature_range=(-5, 5), rng=0)
+        model = OnlineHD(dim=50, epochs=1, encoder=encoder, seed=0).fit(X_train, y_train)
+        with pytest.raises(EngineError, match="projection parameters"):
+            compile_model(model)
+
+    def test_slice_of_unfusable_encoder_raises_engine_error(self, blobs_split):
+        """A sliced non-projection root must also surface as EngineError."""
+        from repro.hdc import SlicedEncoder
+
+        X_train, _, y_train, _ = blobs_split
+        root = LevelIdEncoder(X_train.shape[1], 64, feature_range=(-5, 5), rng=0)
+        encoder = SlicedEncoder(root, 0, 32)
+        model = OnlineHD(dim=32, epochs=1, encoder=encoder, seed=0).fit(X_train, y_train)
+        with pytest.raises(EngineError, match="projection parameters"):
+            compile_model(model)
+
+    def test_feature_mismatch_raises(self, blobs_split):
+        model = make_boosthd(blobs_split)
+        engine = model.compile()
+        with pytest.raises(ValueError, match="features"):
+            engine.predict(np.zeros((3, 99)))

@@ -16,6 +16,9 @@ for Enhanced Reliability in Healthcare"* (DATE 2025) end to end on plain
 * :mod:`repro.engine` — the fused batch-inference engine that compiles a
   fitted ensemble into a single-pass scorer (stacked projections, one
   block-diagonal-aware matmul, chunked streaming, optional encoding cache),
+* :mod:`repro.serving` — the streaming service layer: per-subject sessions
+  with incremental featurization, a micro-batching scheduler over the fused
+  engine, a versioned model registry, and drift-aware online adaptation,
 * :mod:`repro.analysis` and :mod:`repro.experiments` — the harness that
   regenerates every table and figure of the evaluation section.
 
@@ -33,8 +36,16 @@ from .core import BaggedHD, BoostHD
 from .data import load_nurse_stress, load_stress_predict, load_wesad
 from .engine import CompiledModel, compile_model
 from .hdc import CentroidHD, NonlinearEncoder, OnlineHD
+from .serving import (
+    AdaptiveModel,
+    DriftMonitor,
+    MicroBatchScheduler,
+    ModelRegistry,
+    StreamingService,
+    StreamSession,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BaggedHD",
@@ -47,5 +58,11 @@ __all__ = [
     "CentroidHD",
     "NonlinearEncoder",
     "OnlineHD",
+    "AdaptiveModel",
+    "DriftMonitor",
+    "MicroBatchScheduler",
+    "ModelRegistry",
+    "StreamingService",
+    "StreamSession",
     "__version__",
 ]

@@ -225,6 +225,32 @@ class BoostHD(BaseClassifier):
         self.learner_errors_ = np.asarray(errors)
         return self
 
+    # ---------------------------------------------------------- partial_fit
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "BoostHD":
+        """One incremental adaptive epoch on every weak learner.
+
+        Applies :meth:`repro.hdc.OnlineHD.partial_fit` to each fitted weak
+        learner — the serving layer's online-adaptation primitive
+        (:mod:`repro.serving.adaptation`).  The boosting importances
+        ``alpha_i`` are *not* re-estimated: they encode training-time
+        competence, and re-weighting from an incremental trickle of feedback
+        would be far noisier than the adaptive updates themselves.  Labels
+        unseen at fit time grow every learner (and ``classes_``) with a
+        zero-initialised class hypervector.
+        """
+        self._check_fitted("learners_")
+        for learner in self.learners_:
+            learner.partial_fit(X, y, sample_weight=sample_weight)
+        combined = np.union1d(self.classes_, self.learners_[0].classes_)
+        if len(combined) != len(self.classes_):
+            self.classes_ = combined
+        return self
+
     # ------------------------------------------------------------ inference
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Aggregated per-class score, shape ``(n_samples, n_classes)``."""

@@ -40,13 +40,21 @@ def moving_average(signal: np.ndarray, window_size: int = 30) -> np.ndarray:
     The output has the same length as the input; the first ``window_size - 1``
     samples average over the (shorter) available history, which avoids edge
     artefacts without shrinking the window.
+
+    The filter is computed from a cumulative sum of the *mean-centred* signal
+    (the mean is added back afterwards, which is exact for an averaging
+    filter).  A raw cumulative sum of a long stream with a large DC offset —
+    e.g. hours of skin temperature around 33 °C — grows to ``n · offset`` and
+    the difference of two nearby cumsum entries cancels catastrophically;
+    centring keeps the accumulator bounded by the signal's variation instead.
     """
     if window_size < 1:
         raise ValueError(f"window_size must be >= 1, got {window_size}")
-    array = np.asarray(signal, dtype=float)
+    array = np.asarray(signal, dtype=np.float64)
     if window_size == 1:
         return array.copy()
-    cumulative = np.cumsum(array, axis=-1)
+    offset = array.mean(axis=-1, keepdims=True)
+    cumulative = np.cumsum(array - offset, axis=-1)
     length = array.shape[-1]
     effective = min(window_size, length)
     smoothed = np.empty_like(array)
@@ -61,6 +69,7 @@ def moving_average(signal: np.ndarray, window_size: int = 30) -> np.ndarray:
     # Growing prefix windows.
     prefix_counts = np.arange(1, effective)
     smoothed[..., : effective - 1] = cumulative[..., : effective - 1] / prefix_counts
+    smoothed += offset
     return smoothed
 
 

@@ -65,6 +65,13 @@ class TabularDataset:
         Class label names indexed by the integer label.
     feature_names:
         Column names of ``X``.
+    scaler:
+        The fitted :class:`~repro.baselines.preprocessing.StandardScaler`
+        that produced ``X`` from raw features (``None`` when the dataset was
+        generated unscaled).  A serving process must apply the *same*
+        transform to live features before scoring
+        (``StreamingService(..., transform=dataset.scaler.transform)``), so
+        the scaler travels with the dataset.
     """
 
     name: str
@@ -74,6 +81,7 @@ class TabularDataset:
     subject_records: Mapping[int, SubjectRecord]
     class_names: Sequence[str]
     feature_names: Sequence[str]
+    scaler: StandardScaler | None = None
 
     def __post_init__(self) -> None:
         if not (len(self.X) == len(self.y) == len(self.subjects)):
@@ -118,6 +126,7 @@ class TabularDataset:
             },
             class_names=self.class_names,
             feature_names=self.feature_names,
+            scaler=self.scaler,
         )
 
     def filter_subjects(
@@ -182,8 +191,10 @@ def generate_subject_dataset(
             subject_column.extend([record.subject_id] * windows_per_state)
 
     X = np.vstack(feature_rows)
+    scaler = None
     if scale:
-        X = StandardScaler().fit_transform(X)
+        scaler = StandardScaler()
+        X = scaler.fit_transform(X)
     return TabularDataset(
         name=name,
         X=X,
@@ -192,4 +203,5 @@ def generate_subject_dataset(
         subject_records={record.subject_id: record for record in subject_records},
         class_names=[state.name for state in states],
         feature_names=feature_names(CHANNELS),
+        scaler=scaler,
     )

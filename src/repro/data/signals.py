@@ -206,14 +206,29 @@ class SignalSimulator:
         wander = 0.08 * np.sin(2.0 * np.pi * 0.25 * time)
         return spikes + wander + noise * 0.05 * self._generator.standard_normal(time.shape)
 
-    def _eda(self, state: StatePhysiology, noise: float, time: np.ndarray) -> np.ndarray:
-        """Tonic level plus exponentially-decaying phasic responses."""
+    def _eda(
+        self,
+        state: StatePhysiology,
+        noise: float,
+        time: np.ndarray,
+        duration: float | None = None,
+    ) -> np.ndarray:
+        """Tonic level plus exponentially-decaying phasic responses.
+
+        ``duration`` is the span of ``time`` in seconds (defaults to the
+        configured window length); phasic-response onsets are drawn uniformly
+        over it, so the same code serves both absolute-time streaming chunks
+        and zero-based windows.
+        """
+        if duration is None:
+            duration = self.window_seconds
         tonic = state.eda_level + 0.1 * np.sin(2.0 * np.pi * 0.01 * time)
         signal = np.full_like(time, 0.0) + tonic
-        expected_events = state.eda_responses_per_minute * self.window_seconds / 60.0
+        expected_events = state.eda_responses_per_minute * duration / 60.0
         n_events = self._generator.poisson(expected_events)
+        start = float(time[0])
         for _ in range(int(n_events)):
-            onset = self._generator.uniform(0.0, self.window_seconds)
+            onset = self._generator.uniform(start, start + duration)
             amplitude = self._generator.uniform(0.2, 0.8) * (state.eda_level / 3.0)
             rise = 1.0 / (1.0 + np.exp(-(time - onset) * 4.0))
             decay = np.exp(-np.maximum(time - onset, 0.0) / 4.0)
@@ -245,6 +260,26 @@ class SignalSimulator:
         )
         return 1.0 + bursts + noise * state.movement * 0.5 * self._generator.standard_normal(time.shape)
 
+    def _window_channels(
+        self,
+        effective: StatePhysiology,
+        noise: float,
+        time: np.ndarray,
+        duration: float | None = None,
+    ) -> np.ndarray:
+        """Stack every channel's waveform over ``time`` in :data:`CHANNELS` order."""
+        return np.vstack(
+            [
+                self._bvp(effective, noise, time),
+                self._ecg(effective, noise, time),
+                self._eda(effective, noise, time, duration),
+                self._emg(effective, noise, time),
+                self._resp(effective, noise, time),
+                self._temp(effective, noise, time),
+                self._acc(effective, noise, time),
+            ]
+        )
+
     # -------------------------------------------------------------- windows
     def generate_window(
         self, state: StatePhysiology, subject: SubjectPhysiology | None = None
@@ -253,19 +288,7 @@ class SignalSimulator:
         subject = subject or SubjectPhysiology()
         effective = self._effective_state(state, subject)
         noise = self.noise_level * subject.noise_scale
-        time = self._time_axis()
-        channels = np.vstack(
-            [
-                self._bvp(effective, noise, time),
-                self._ecg(effective, noise, time),
-                self._eda(effective, noise, time),
-                self._emg(effective, noise, time),
-                self._resp(effective, noise, time),
-                self._temp(effective, noise, time),
-                self._acc(effective, noise, time),
-            ]
-        )
-        return channels
+        return self._window_channels(effective, noise, self._time_axis())
 
     def generate_windows(
         self,
@@ -277,6 +300,53 @@ class SignalSimulator:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         return np.stack([self.generate_window(state, subject) for _ in range(count)])
+
+    # ------------------------------------------------------------- streaming
+    def stream_chunks(
+        self,
+        state: StatePhysiology,
+        subject: SubjectPhysiology | None = None,
+        *,
+        chunk_samples: int | None = None,
+        n_chunks: int | None = None,
+    ):
+        """Yield consecutive raw chunks of shape ``(n_channels, chunk_samples)``.
+
+        This is the live-signal source for the serving layer
+        (:mod:`repro.serving`): unlike :meth:`generate_window`, whose windows
+        each restart at ``t = 0``, the chunks share one continuous time axis,
+        so periodic channels (BVP, ECG, RESP) carry their phase across chunk
+        boundaries and EDA response onsets fall anywhere in the stream.
+        Stochastic per-chunk draws (noise, EDA events, envelope phases) are
+        still independent between chunks, mirroring the batch generator's
+        per-window independence.
+
+        Parameters
+        ----------
+        state, subject:
+            Operating point, as for :meth:`generate_window`.
+        chunk_samples:
+            Samples per yielded chunk (default: one window's worth).
+        n_chunks:
+            Stop after this many chunks; ``None`` streams forever.
+        """
+        if chunk_samples is None:
+            chunk_samples = self.samples_per_window
+        if chunk_samples < 1:
+            raise ValueError(f"chunk_samples must be >= 1, got {chunk_samples}")
+        if n_chunks is not None and n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        subject = subject or SubjectPhysiology()
+        effective = self._effective_state(state, subject)
+        noise = self.noise_level * subject.noise_scale
+        duration = chunk_samples / self.sampling_rate
+        offset = 0
+        produced = 0
+        while n_chunks is None or produced < n_chunks:
+            time = (offset + np.arange(chunk_samples)) / self.sampling_rate
+            yield self._window_channels(effective, noise, time, duration)
+            offset += chunk_samples
+            produced += 1
 
     def random_subject(self, strength: float = 1.0) -> SubjectPhysiology:
         """Draw a random subject profile; ``strength`` scales offset spread."""

@@ -7,8 +7,12 @@ activation — dominates fused-inference cost, so
 :class:`~repro.engine.CompiledModel` can optionally memoise encoded chunks
 keyed by the exact bytes of the input chunk.
 
-The cache stores the *raw* encoded matrix; scorers must copy before mutating
-(the engine does).  Hit/miss counters are exposed for observability.
+The cache stores the *raw* encoded matrix; consumers treat cached entries as
+read-only (the engine's scoring paths never mutate an encoding).  Hit/miss
+counters are exposed for observability.  Long
+running serving processes (:mod:`repro.serving`) bound the cache by total
+byte footprint (``max_bytes``) in addition to — or instead of — the entry
+count, since micro-batched chunks vary in row count.
 """
 
 from __future__ import annotations
@@ -53,6 +57,11 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    @property
+    def hit_ratio(self) -> float:
+        """Alias of :attr:`hit_rate`, the name reported by Table II."""
+        return self.hit_rate
+
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
@@ -63,16 +72,28 @@ class CacheStats:
 class LRUCache:
     """Least-recently-used mapping from fingerprints to encoded chunks.
 
-    ``maxsize`` bounds the number of cached chunks (not bytes); with the
-    engine's fixed chunking every entry has the same shape, so the byte
-    footprint is ``maxsize * chunk_size * total_dim * itemsize``.
+    ``maxsize`` bounds the number of cached chunks; ``max_bytes`` bounds the
+    summed ``nbytes`` of the cached arrays.  At least one bound must be set
+    (``maxsize=None`` means "unbounded count, bytes-bound only").  With the
+    engine's fixed chunking every entry has the same shape, so a pure count
+    bound implies a byte footprint of ``maxsize * chunk_size * total_dim *
+    itemsize``; serving workloads with variable micro-batch sizes should cap
+    ``max_bytes`` instead.  Values larger than ``max_bytes`` on their own are
+    never stored (they would immediately evict the whole cache for a single
+    unlikely-to-repeat entry).
     """
 
-    def __init__(self, maxsize: int) -> None:
-        if maxsize < 1:
+    def __init__(self, maxsize: int | None, *, max_bytes: int | None = None) -> None:
+        if maxsize is None and max_bytes is None:
+            raise ValueError("at least one of maxsize / max_bytes must be set")
+        if maxsize is not None and maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = int(maxsize)
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.maxsize = int(maxsize) if maxsize is not None else None
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self.stats = CacheStats()
+        self.current_bytes = 0
         self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
 
     def __len__(self) -> int:
@@ -88,16 +109,27 @@ class LRUCache:
         self.stats.hits += 1
         return entry
 
+    def _evict_lru(self) -> None:
+        _, evicted = self._entries.popitem(last=False)
+        self.current_bytes -= evicted.nbytes
+        self.stats.evictions += 1
+
     def put(self, key: bytes, value: np.ndarray) -> None:
-        """Insert ``value``, evicting the least-recently-used entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._entries[key] = value
+        """Insert ``value``, evicting least-recently-used entries until it fits."""
+        if self.max_bytes is not None and value.nbytes > self.max_bytes:
             return
-        if len(self._entries) >= self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self.current_bytes -= existing.nbytes
+        if self.maxsize is not None:
+            while len(self._entries) >= self.maxsize:
+                self._evict_lru()
+        if self.max_bytes is not None:
+            while self._entries and self.current_bytes + value.nbytes > self.max_bytes:
+                self._evict_lru()
         self._entries[key] = value
+        self.current_bytes += value.nbytes
 
     def clear(self) -> None:
         self._entries.clear()
+        self.current_bytes = 0

@@ -19,11 +19,13 @@ so all of that fuses:
    ``0.5 * (sin(2p + b) - sin(b))``: one transcendental evaluation over the
    ``(n, D_total)`` matrix instead of two, with ``sin(b)`` precomputed.
 3. **Block-diagonal-aware scoring** — per-learner class hypervectors are
-   L2-normalised, scaled by their boosting importance ``α_i`` and scattered
-   into one ``(D_total, n_classes)`` weight matrix, so ensemble scores are a
-   single matmul followed by the ``Σα`` normalisation.  Per-learner cosine
-   denominators (the row norms of each encoded block) come from one
-   ``np.add.reduceat`` over the squared encoding.
+   L2-normalised once at compile time; per batch, each learner block
+   contributes one thin ``(n, d_i) @ (d_i, k_i)`` matmul whose rows are then
+   scaled by ``α_i`` over the block's per-sample norm (an ``einsum`` row
+   reduction) and accumulated into the global class columns, followed by the
+   ``Σα`` normalisation.  This scales the *small* ``(n, k_i)`` similarity
+   matrices instead of normalising the full ``(n, D_total)`` encoding, which
+   is what keeps per-row cost low at serving batch sizes.
 
 The compiled scorer reproduces the loop path's predictions exactly and its
 scores to floating-point tolerance, for both aggregation modes and both
@@ -99,6 +101,7 @@ class CompiledModel:
         dtype: np.dtype,
         chunk_size: ChunkSize = None,
         cache_size: int = 0,
+        cache_bytes: int | None = None,
         shared_projection: bool = False,
     ) -> None:
         if aggregation not in ("vote", "score"):
@@ -116,26 +119,15 @@ class CompiledModel:
         self._basis2 = np.ascontiguousarray((2.0 * basis).T, dtype=self.dtype)
         self._bias = bias.astype(self.dtype)
         self._sin_bias = np.sin(bias).astype(self.dtype)
-        self._block_starts = np.asarray([block.start for block in self.blocks])
 
         alphas = np.asarray([block.alpha for block in self.blocks], dtype=float)
         self._alphas, self._total_alpha = effective_alphas(alphas)
 
-        # Stacked (D_total, n_classes) weight matrix for the "score" path:
-        # rows [start, stop) of block i hold alpha_i * normalised class
-        # hypervectors scattered into the global class columns.  The vote
-        # path scores block-by-block from the LearnerBlock weights instead,
-        # so the scattered matrix is only materialised when needed.
-        self._score_matrix: np.ndarray | None = None
-        if aggregation == "score":
-            weights = np.zeros((self.total_dim, len(self.classes_)), dtype=self.dtype)
-            for block, alpha in zip(self.blocks, self._alphas):
-                weights[block.start : block.stop, block.columns] = (
-                    alpha * block.class_weights.astype(np.float64)
-                ).astype(self.dtype)
-            self._score_matrix = weights
-
-        self.cache: LRUCache | None = LRUCache(cache_size) if cache_size else None
+        self.cache: LRUCache | None = (
+            LRUCache(cache_size or None, max_bytes=cache_bytes)
+            if cache_size or cache_bytes
+            else None
+        )
 
     # ---------------------------------------------------------------- infra
     @property
@@ -164,17 +156,13 @@ class CompiledModel:
         return X
 
     # ------------------------------------------------------------- encoding
-    def _encode_chunk(self, chunk: np.ndarray) -> tuple[np.ndarray, bool]:
-        """Encode one chunk, returning ``(H, owned)``.
-
-        ``owned`` is False when ``H`` came from the cache and must not be
-        mutated by the caller.
-        """
+    def _encode_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Encode one chunk (possibly from cache; callers must not mutate)."""
         key = array_fingerprint(chunk) if self.cache is not None else b""
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
-                return cached, False
+                return cached
         projected = chunk @ self._basis2
         projected += self._bias
         np.sin(projected, out=projected)
@@ -182,8 +170,7 @@ class CompiledModel:
         projected *= 0.5
         if self.cache is not None:
             self.cache.put(key, projected)
-            return projected, False
-        return projected, True
+        return projected
 
     def encode(self, X: np.ndarray) -> np.ndarray:
         """Fused ensemble encoding, shape ``(n_samples, D_total)``.
@@ -200,21 +187,16 @@ class CompiledModel:
         )
         encoded = np.empty((len(X), self.total_dim), dtype=self.dtype)
         for rows in iter_batches(len(X), chunk_size):
-            encoded[rows], _ = self._encode_chunk(X[rows])
+            encoded[rows] = self._encode_chunk(X[rows])
         return encoded
 
     # -------------------------------------------------------------- scoring
-    def _block_norms(self, encoded: np.ndarray) -> np.ndarray:
-        """Per-sample L2 norm of each learner's block, shape ``(n, L)``."""
-        squared = np.add.reduceat(encoded * encoded, self._block_starts, axis=1)
-        return np.maximum(np.sqrt(squared, out=squared), _EPS)
-
-    def _score_chunk(self, encoded: np.ndarray, owned: bool) -> np.ndarray:
+    def _score_chunk(self, encoded: np.ndarray) -> np.ndarray:
         n = len(encoded)
+        scores = np.zeros((n, len(self.classes_)), dtype=np.float64)
         if self.aggregation == "vote":
             # Cosine argmax is invariant to the per-sample norm |h|, so the
             # vote path never needs the block norms.
-            scores = np.zeros((n, len(self.classes_)), dtype=np.float64)
             rows = np.arange(n)
             for block, alpha in zip(self.blocks, self._alphas):
                 sims = encoded[:, block.start : block.stop] @ block.class_weights
@@ -222,16 +204,19 @@ class CompiledModel:
                 scores[rows, block.columns[winner]] += alpha
             return scores / self._total_alpha
 
-        norms = self._block_norms(encoded)
-        normalised = encoded if owned else np.empty_like(encoded)
-        for index, block in enumerate(self.blocks):
-            np.divide(
-                encoded[:, block.start : block.stop],
-                norms[:, index : index + 1],
-                out=normalised[:, block.start : block.stop],
-            )
-        scores = normalised @ self._score_matrix
-        return scores.astype(np.float64) / self._total_alpha
+        # Per-learner cosine contributions: one thin (n, d_i) @ (d_i, k_i)
+        # matmul per block, then a row scaling of the *small* (n, k_i)
+        # similarity matrix by alpha_i / |h_i|.  Never touches (mutates or
+        # re-materialises) the (n, D_total) encoding, so micro-batch-sized
+        # chunks score at memory-bandwidth cost and cached encodings can be
+        # shared freely.
+        for block, alpha in zip(self.blocks, self._alphas):
+            view = encoded[:, block.start : block.stop]
+            sims = view @ block.class_weights
+            norms = np.sqrt(np.einsum("ij,ij->i", view, view, dtype=np.float64))
+            scale = alpha / np.maximum(norms, _EPS)
+            scores[:, block.columns] += sims * scale[:, None]
+        return scores / self._total_alpha
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Aggregated per-class scores, shape ``(n_samples, n_classes)``.
@@ -247,8 +232,7 @@ class CompiledModel:
         )
         scores = np.empty((len(X), len(self.classes_)), dtype=np.float64)
         for rows in iter_batches(len(X), chunk_size):
-            encoded, owned = self._encode_chunk(X[rows])
-            scores[rows] = self._score_chunk(encoded, owned)
+            scores[rows] = self._score_chunk(self._encode_chunk(X[rows]))
         return scores
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -321,6 +305,7 @@ def compile_model(
     dtype: np.dtype | type | str = np.float32,
     chunk_size: ChunkSize = None,
     cache_size: int = 0,
+    cache_bytes: int | None = None,
 ) -> CompiledModel:
     """Compile a fitted ``BoostHD`` or ``OnlineHD`` into a fused scorer.
 
@@ -340,6 +325,11 @@ def compile_model(
     cache_size:
         When positive, an LRU cache of this many encoded chunks keyed by
         input bytes — worthwhile when the same windows are scored repeatedly.
+    cache_bytes:
+        Optional byte bound on the encoding cache (evict by total ``nbytes``
+        rather than entry count).  May be combined with ``cache_size`` or used
+        alone (``cache_size=0`` then means "no count bound"); long-running
+        serving processes use this to cap encoder-cache memory.
 
     Raises
     ------
@@ -415,5 +405,6 @@ def compile_model(
         dtype=resolved,
         chunk_size=chunk_size,
         cache_size=cache_size,
+        cache_bytes=cache_bytes,
         shared_projection=root is not None,
     )

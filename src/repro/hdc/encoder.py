@@ -136,6 +136,37 @@ class NonlinearEncoder(Encoder):
         self.basis = generator.standard_normal((self.dim, self.in_features))
         self.bias = generator.uniform(0.0, 2.0 * np.pi, size=self.dim)
 
+    @classmethod
+    def from_params(
+        cls, basis: np.ndarray, bias: np.ndarray, *, bandwidth: float = 1.0
+    ) -> "NonlinearEncoder":
+        """Rebuild an encoder from stored *raw* projection parameters.
+
+        ``basis`` is the un-scaled ``(dim, in_features)`` projection matrix
+        (i.e. :attr:`basis`, not the pre-scaled form returned by
+        :meth:`projection_params`) and ``bias`` the phase vector.  Used by the
+        model registry (:mod:`repro.serving.registry`) to reconstruct a fitted
+        model's encoder exactly — no random draws are made, so the rebuilt
+        encoder's :meth:`encode` is bit-identical to the original's.
+        """
+        basis = np.array(basis, dtype=np.float64)
+        bias = np.array(bias, dtype=np.float64)
+        if basis.ndim != 2:
+            raise ValueError(f"basis must be 2-D (dim, in_features), got ndim={basis.ndim}")
+        if bias.shape != (basis.shape[0],):
+            raise ValueError(
+                f"bias shape {bias.shape} does not match basis rows {basis.shape[0]}"
+            )
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        encoder = cls.__new__(cls)
+        encoder.in_features = int(basis.shape[1])
+        encoder.dim = int(basis.shape[0])
+        encoder.bandwidth = float(bandwidth)
+        encoder.basis = basis
+        encoder.bias = bias
+        return encoder
+
     @property
     def _projection_scale(self) -> float:
         return 1.0 / (self.bandwidth * np.sqrt(self.in_features))

@@ -86,6 +86,7 @@ class OnlineHD(BaseClassifier):
         self.seed = seed
         self.class_hypervectors_: np.ndarray | None = None
         self.classes_: np.ndarray | None = None
+        self._adapt_rng: np.random.Generator | None = None
 
     # ------------------------------------------------------------------ fit
     def _ensure_encoder(self, n_features: int) -> Encoder:
@@ -126,6 +127,74 @@ class OnlineHD(BaseClassifier):
             self._adaptive_pass(model, encoded, label_index, order, update_scale)
 
         self.class_hypervectors_ = model
+        # Keep the generator so partial_fit continues the same random stream:
+        # one partial_fit epoch after fit(epochs=k) replays exactly what
+        # fit(epochs=k+1) would have done for its final epoch.
+        self._adapt_rng = rng
+        return self
+
+    # ---------------------------------------------------------- partial_fit
+    def _extend_classes(self, new_labels: np.ndarray) -> None:
+        """Grow ``classes_`` / ``class_hypervectors_`` for unseen labels.
+
+        New classes start from a zero hypervector (no bundling history), so
+        the first adaptive updates fully determine their direction.
+        """
+        combined = np.union1d(self.classes_, new_labels)
+        if len(combined) == len(self.classes_):
+            return
+        grown = np.zeros((len(combined), self.class_hypervectors_.shape[1]))
+        grown[np.searchsorted(combined, self.classes_)] = self.class_hypervectors_
+        self.classes_ = combined
+        self.class_hypervectors_ = grown
+
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "OnlineHD":
+        """One incremental adaptive epoch on ``(X, y)``, reusing the fitted model.
+
+        The fitted encoder and class hypervectors are updated in place with
+        exactly one OnlineHD adaptive pass — the same update rule as
+        :meth:`fit`'s refinement epochs, continuing :meth:`fit`'s random
+        stream — so ``fit(epochs=k)`` followed by one ``partial_fit`` on the
+        same data reproduces ``fit(epochs=k+1)``.  This is the primitive the
+        serving layer's online adaptation (:mod:`repro.serving.adaptation`)
+        applies to labeled feedback; labels unseen at fit time grow the model
+        with a fresh zero-initialised class hypervector.
+
+        Requires a fitted model (:meth:`fit` first): the encoder and the
+        initial bundling pass define the representation being adapted.
+        """
+        self._check_fitted("class_hypervectors_")
+        X, y = self._validate_fit_args(X, y)
+        weights = self._validate_sample_weight(sample_weight, len(y))
+        weighted = sample_weight is not None
+        if X.shape[1] != self.encoder.in_features:
+            raise ValueError(
+                f"expected {self.encoder.in_features} features, got {X.shape[1]}"
+            )
+        if self._adapt_rng is None:
+            # Model restored from the registry (never fitted in-process):
+            # start a fresh stream from the configured seed.
+            self._adapt_rng = np.random.default_rng(self.seed)
+        rng = self._adapt_rng
+
+        self._extend_classes(np.unique(y))
+        label_index = np.searchsorted(self.classes_, y)
+        encoded = self.encoder.encode(X)
+
+        if weighted and self.bootstrap:
+            order = rng.choice(len(y), size=len(y), p=weights)
+            update_scale = np.ones(len(y))
+        else:
+            order = rng.permutation(len(y))
+            update_scale = weights * len(y) if weighted else np.ones(len(y))
+        self._adaptive_pass(
+            self.class_hypervectors_, encoded, label_index, order, update_scale
+        )
         return self
 
     def _adaptive_pass(

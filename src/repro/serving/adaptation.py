@@ -1,0 +1,241 @@
+"""Drift monitoring and opt-in online adaptation for served models.
+
+Physiological baselines drift — circadian temperature cycles, sensor
+re-placement, habituation to a stressor — so a model that was accurate at
+deployment time degrades silently.  Serving-side, drift shows up *before*
+labels do, as shrinking decision confidence: the margin between the best and
+second-best class score contracts when queries move away from the training
+distribution.  :class:`DriftMonitor` tracks a rolling mean of that margin
+against the baseline established right after deployment and flags when it
+collapses.
+
+When labeled feedback *is* available (periodic self-reports, a clinician
+annotating flagged episodes), :class:`AdaptiveModel` applies OnlineHD-style
+adaptive updates — the same rule the weak learners were trained with, via
+:meth:`repro.hdc.OnlineHD.partial_fit` — to the served model without a
+retrain, and invalidates/recompiles the fused engine so subsequent
+micro-batches score against the updated class hypervectors.  Adaptation is
+strictly opt-in: :meth:`AdaptiveModel.feedback` is the only mutating entry
+point, and a monitor-only deployment never touches the model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.boosthd import BoostHD
+from ..hdc.onlinehd import OnlineHD
+
+__all__ = ["DriftMonitor", "AdaptiveModel"]
+
+
+class DriftMonitor:
+    """Rolling score-margin monitor flagging confidence collapse.
+
+    The *margin* of one scored window is ``top1 - top2`` of its per-class
+    scores (for cosine-similarity scores this is scale-free).  The first
+    ``baseline_window`` margins define the deployment baseline; afterwards
+    the monitor reports drift when the mean margin over the last ``window``
+    scores falls below ``ratio * baseline`` (or below ``min_margin``, when
+    given — an absolute floor independent of the baseline).
+
+    Parameters
+    ----------
+    window:
+        Number of recent margins in the rolling mean.
+    baseline_window:
+        Number of initial margins frozen into the baseline.
+    ratio:
+        Fraction of the baseline margin below which drift is declared.
+    min_margin:
+        Optional absolute margin floor that also triggers drift.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 256,
+        baseline_window: int = 256,
+        ratio: float = 0.5,
+        min_margin: float | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if baseline_window < 1:
+            raise ValueError(f"baseline_window must be >= 1, got {baseline_window}")
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.window = int(window)
+        self.baseline_window = int(baseline_window)
+        self.ratio = float(ratio)
+        self.min_margin = None if min_margin is None else float(min_margin)
+        self.observed = 0
+        self._recent: deque[float] = deque(maxlen=self.window)
+        self._baseline_sum = 0.0
+        self._baseline_count = 0
+
+    @staticmethod
+    def margins(scores: np.ndarray) -> np.ndarray:
+        """Per-row ``top1 - top2`` margins of a ``(n, n_classes)`` score matrix."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim == 1:
+            scores = scores[None, :]
+        if scores.shape[1] < 2:
+            raise ValueError("need at least two classes to compute a margin")
+        top2 = np.partition(scores, -2, axis=1)[:, -2:]
+        return top2[:, 1] - top2[:, 0]
+
+    def update(self, scores: np.ndarray) -> None:
+        """Fold a batch of per-class scores into the rolling statistics."""
+        for margin in self.margins(scores):
+            value = float(margin)
+            self.observed += 1
+            if self._baseline_count < self.baseline_window:
+                self._baseline_sum += value
+                self._baseline_count += 1
+            self._recent.append(value)
+
+    @property
+    def baseline_margin(self) -> float | None:
+        """Mean margin of the deployment baseline (None until established)."""
+        if self._baseline_count < self.baseline_window:
+            return None
+        return self._baseline_sum / self._baseline_count
+
+    @property
+    def rolling_margin(self) -> float | None:
+        """Mean margin over the most recent ``window`` scores."""
+        if not self._recent:
+            return None
+        return float(np.mean(self._recent))
+
+    @property
+    def drifted(self) -> bool:
+        """True when recent confidence fell below the configured floor."""
+        rolling = self.rolling_margin
+        if rolling is None:
+            return False
+        if self.min_margin is not None and rolling < self.min_margin:
+            return True
+        baseline = self.baseline_margin
+        return baseline is not None and rolling < self.ratio * baseline
+
+    def reset_baseline(self) -> None:
+        """Re-anchor the baseline on the next ``baseline_window`` scores.
+
+        Call after adapting the model: the old confidence level no longer
+        describes the updated class hypervectors.
+        """
+        self._baseline_sum = 0.0
+        self._baseline_count = 0
+
+    def __repr__(self) -> str:
+        baseline = self.baseline_margin
+        rolling = self.rolling_margin
+        return (
+            f"DriftMonitor(observed={self.observed}, "
+            f"baseline={'-' if baseline is None else f'{baseline:.4f}'}, "
+            f"rolling={'-' if rolling is None else f'{rolling:.4f}'}, "
+            f"drifted={self.drifted})"
+        )
+
+
+class AdaptiveModel:
+    """A served model plus its compiled engine, drift monitor and update path.
+
+    Wraps a fitted :class:`~repro.hdc.OnlineHD` or
+    :class:`~repro.core.BoostHD`.  :attr:`compiled` lazily builds (and after
+    feedback, rebuilds) the fused :class:`~repro.engine.CompiledModel`;
+    :meth:`score` routes a feature batch through the engine while feeding the
+    drift monitor; :meth:`feedback` applies one adaptive epoch of labeled
+    feedback and marks the engine stale.  A
+    :class:`~repro.serving.scheduler.MicroBatchScheduler` can point directly
+    at an ``AdaptiveModel`` (it exposes ``decision_function``/``classes_``),
+    so adaptation slots into a running service without rewiring.
+
+    Parameters
+    ----------
+    model:
+        Fitted model to serve.
+    monitor:
+        Drift monitor fed by every :meth:`score`/:meth:`decision_function`
+        call (default: a fresh :class:`DriftMonitor`).
+    compile_options:
+        Keyword options for :func:`repro.engine.compile_model` used on every
+        (re)compile, e.g. ``{"dtype": np.float32, "cache_size": 32}``.
+    """
+
+    def __init__(
+        self,
+        model: BoostHD | OnlineHD,
+        *,
+        monitor: DriftMonitor | None = None,
+        compile_options: dict | None = None,
+    ) -> None:
+        if not isinstance(model, (BoostHD, OnlineHD)):
+            raise TypeError(
+                f"expected BoostHD or OnlineHD, got {type(model).__name__}"
+            )
+        self.model = model
+        self.monitor = monitor or DriftMonitor()
+        self.compile_options = dict(compile_options or {})
+        self._compiled = None
+        self.recompiles = 0
+        self.feedback_samples = 0
+
+    # ------------------------------------------------------------ the engine
+    @property
+    def stale(self) -> bool:
+        """True when feedback invalidated the compiled engine."""
+        return self._compiled is None
+
+    @property
+    def compiled(self):
+        """The fused engine for the *current* model state (rebuilt if stale)."""
+        if self._compiled is None:
+            from ..engine import compile_model
+
+            self._compiled = compile_model(self.model, **self.compile_options)
+            self.recompiles += 1
+        return self._compiled
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.model.classes_
+
+    # --------------------------------------------------------------- scoring
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Fused per-class scores; every call also feeds the drift monitor."""
+        scores = self.compiled.decision_function(X)
+        self.monitor.update(scores)
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Convenience: ``(labels, scores)`` of one monitored fused call."""
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)], scores
+
+    # ------------------------------------------------------------ adaptation
+    def feedback(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Apply one adaptive epoch of labeled feedback and invalidate the engine.
+
+        One ``partial_fit`` epoch on the served model — a single
+        :meth:`~repro.hdc.OnlineHD.partial_fit` for OnlineHD, or
+        :meth:`~repro.core.BoostHD.partial_fit` (every weak learner, fixed
+        boosting importances) for an ensemble.
+
+        The compiled engine is dropped and rebuilt on next use, and the drift
+        baseline re-anchors so post-adaptation confidence defines the new
+        normal.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        self.model.partial_fit(X, y)
+        self.feedback_samples += len(X)
+        self._compiled = None
+        self.monitor.reset_baseline()

@@ -1,0 +1,411 @@
+"""Versioned on-disk registry for fitted HDC models.
+
+A serving process must never retrain: training happens offline, the fitted
+model is published to a :class:`ModelRegistry`, and any number of service
+processes load it — exactly.  The registry persists everything a fitted
+:class:`~repro.hdc.OnlineHD` or :class:`~repro.core.BoostHD` is made of
+(projection bases, phase biases, bandwidths, class hypervectors, learner
+importances, the shared-projection layout) into one ``npz`` archive plus a
+JSON manifest per version:
+
+.. code-block:: text
+
+    registry_root/
+        <name>/
+            v1/
+                model.npz     # exact float64 arrays (or fixed-point codes)
+                meta.json     # kind, hyperparameters, user metadata
+            v2/ ...
+
+Round-trip guarantees, enforced by ``tests/test_serving.py``:
+
+* the default float path stores arrays losslessly, so a loaded model's
+  ``decision_function`` / ``predict`` — and the :class:`CompiledModel` built
+  from it — are *byte-identical* to the original's;
+* with ``quantize="fixed16"`` / ``"fixed8"`` the class hypervectors are
+  stored as :mod:`repro.hdc.quantize` fixed-point codes (the wearable
+  deployment format, and 4–8x smaller); loading dequantises
+  deterministically, so repeated load→save→load cycles are stable.
+
+Only trigonometric random-projection encoders are supported — the same
+family the fused engine compiles — so everything the registry can store can
+also be served through :meth:`load_compiled`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.boosthd import BoostHD
+from ..engine.compile import _shared_root
+from ..hdc.encoder import Encoder, NonlinearEncoder, SlicedEncoder
+from ..hdc.onlinehd import OnlineHD
+from ..hdc.quantize import FixedPointFormat, from_fixed_point, to_fixed_point
+
+__all__ = ["ModelRecord", "ModelRegistry", "RegistryError"]
+
+_VERSION_PATTERN = re.compile(r"^v(\d+)$")
+_QUANTIZE_BITS = {"fixed16": 16, "fixed8": 8}
+_QUANTIZE_DTYPES = {"fixed16": np.int16, "fixed8": np.int8}
+
+#: Hyperparameters persisted per model kind (constructor arguments that are
+#: plain values; encoder/partitioner objects are reconstructed from arrays).
+_ONLINEHD_PARAMS = ("dim", "lr", "epochs", "bootstrap", "bandwidth", "seed")
+_BOOSTHD_PARAMS = (
+    "total_dim",
+    "n_learners",
+    "lr",
+    "epochs",
+    "bootstrap",
+    "aggregation",
+    "uniform_blend",
+    "bandwidth",
+    "learning_rate",
+    "seed",
+)
+
+
+class RegistryError(RuntimeError):
+    """Raised for unknown models/versions or unsupported model structure."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Manifest of one stored version (the parsed ``meta.json``)."""
+
+    name: str
+    version: int
+    kind: str
+    quantize: str | None
+    shared_projection: bool
+    params: dict
+    metadata: dict
+    path: Path
+
+
+def _require_projection_root(encoder: Encoder) -> None:
+    root = encoder
+    if isinstance(root, SlicedEncoder):
+        root, _, _ = root.flatten()
+    if not isinstance(root, NonlinearEncoder):
+        raise RegistryError(
+            f"cannot persist a {type(root).__name__}; only trigonometric "
+            "random-projection encoders (NonlinearEncoder and slices of it) "
+            "are supported by the registry"
+        )
+
+
+def _store_hypervectors(
+    arrays: dict[str, np.ndarray], prefix: str, hypervectors: np.ndarray, quantize: str | None
+) -> None:
+    if quantize is None:
+        arrays[f"{prefix}hypervectors"] = np.asarray(hypervectors, dtype=np.float64)
+        return
+    codes, fmt = to_fixed_point(hypervectors, bits=_QUANTIZE_BITS[quantize])
+    arrays[f"{prefix}codes"] = codes.astype(_QUANTIZE_DTYPES[quantize])
+    arrays[f"{prefix}scale"] = np.float64(fmt.scale)
+
+
+def _load_hypervectors(archive, prefix: str, quantize: str | None) -> np.ndarray:
+    if quantize is None:
+        return np.asarray(archive[f"{prefix}hypervectors"], dtype=np.float64)
+    fmt = FixedPointFormat(
+        bits=_QUANTIZE_BITS[quantize], scale=float(archive[f"{prefix}scale"])
+    )
+    return from_fixed_point(archive[f"{prefix}codes"].astype(np.int64), fmt)
+
+
+class ModelRegistry:
+    """Filesystem-backed, versioned store of fitted HDC models.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the registry (created on first save).  Multiple
+        registries may coexist; a registry is just this directory layout, so
+        it can be rsync'd/mounted read-only into service containers.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- inventory
+    def models(self) -> list[str]:
+        """Names with at least one stored version, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Stored version numbers for ``name``, ascending (empty if none)."""
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+        found = []
+        for entry in directory.iterdir():
+            match = _VERSION_PATTERN.match(entry.name)
+            if match and (entry / "meta.json").is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"no versions of model {name!r} in {self.root}")
+        return versions[-1]
+
+    def describe(self, name: str, version: int | None = None) -> ModelRecord:
+        """Parse one version's manifest without loading its arrays."""
+        version = self.latest(name) if version is None else int(version)
+        path = self.root / name / f"v{version}"
+        manifest = path / "meta.json"
+        if not manifest.is_file():
+            raise RegistryError(f"model {name!r} has no version v{version} in {self.root}")
+        meta = json.loads(manifest.read_text())
+        return ModelRecord(
+            name=name,
+            version=version,
+            kind=meta["kind"],
+            quantize=meta.get("quantize"),
+            shared_projection=bool(meta.get("shared_projection", False)),
+            params=meta.get("params", {}),
+            metadata=meta.get("metadata", {}),
+            path=path,
+        )
+
+    # ------------------------------------------------------------------ save
+    def _serialize_learners(
+        self,
+        learners: list[OnlineHD],
+        arrays: dict[str, np.ndarray],
+        quantize: str | None,
+    ) -> bool:
+        """Store every learner's encoder + hypervectors; return shared flag."""
+        encoders = [learner.encoder for learner in learners]
+        for encoder in encoders:
+            _require_projection_root(encoder)
+        root = _shared_root(encoders)
+        if root is not None:
+            if not isinstance(root, NonlinearEncoder):
+                raise RegistryError(
+                    f"cannot persist a shared {type(root).__name__} projection"
+                )
+            arrays["root_basis"] = np.asarray(root.basis, dtype=np.float64)
+            arrays["root_bias"] = np.asarray(root.bias, dtype=np.float64)
+            arrays["root_bandwidth"] = np.float64(root.bandwidth)
+        for index, learner in enumerate(learners):
+            prefix = f"learner_{index}_"
+            arrays[f"{prefix}classes"] = learner.classes_
+            _store_hypervectors(arrays, prefix, learner.class_hypervectors_, quantize)
+            if root is not None:
+                _, start, stop = learner.encoder.flatten()
+                arrays[f"{prefix}slice"] = np.asarray([start, stop], dtype=np.int64)
+            else:
+                encoder = learner.encoder
+                if isinstance(encoder, SlicedEncoder):
+                    # A slice without the full shared layout: persist the
+                    # sliced rows as an independent encoder (identical
+                    # encodings, no parent to share).
+                    flat_root, start, stop = encoder.flatten()
+                    arrays[f"{prefix}basis"] = np.asarray(
+                        flat_root.basis[start:stop], dtype=np.float64
+                    )
+                    arrays[f"{prefix}bias"] = np.asarray(
+                        flat_root.bias[start:stop], dtype=np.float64
+                    )
+                    arrays[f"{prefix}bandwidth"] = np.float64(flat_root.bandwidth)
+                else:
+                    arrays[f"{prefix}basis"] = np.asarray(encoder.basis, dtype=np.float64)
+                    arrays[f"{prefix}bias"] = np.asarray(encoder.bias, dtype=np.float64)
+                    arrays[f"{prefix}bandwidth"] = np.float64(encoder.bandwidth)
+        return root is not None
+
+    def save(
+        self,
+        name: str,
+        model: BoostHD | OnlineHD,
+        *,
+        metadata: dict | None = None,
+        quantize: str | None = None,
+    ) -> int:
+        """Persist a fitted model as the next version of ``name``.
+
+        Returns the new version number.  ``metadata`` is any JSON-serializable
+        mapping (training dataset, accuracy, git revision ...) stored in the
+        manifest; ``quantize`` selects the fixed-point hypervector format
+        (``None`` keeps exact float64).
+        """
+        if quantize is not None and quantize not in _QUANTIZE_BITS:
+            raise RegistryError(
+                f"unknown quantize scheme {quantize!r}; "
+                f"available: {sorted(_QUANTIZE_BITS)} or None"
+            )
+        if not name or "/" in name or name.startswith("."):
+            raise RegistryError(f"invalid model name {name!r}")
+        metadata = dict(metadata or {})
+        try:
+            json.dumps(metadata)
+        except TypeError as error:
+            raise RegistryError(f"metadata is not JSON-serializable: {error}") from error
+
+        arrays: dict[str, np.ndarray] = {}
+        if isinstance(model, BoostHD):
+            if model.learners_ is None:
+                raise RegistryError("cannot save an unfitted BoostHD; call fit() first")
+            kind = "boosthd"
+            params = {key: getattr(model, key) for key in _BOOSTHD_PARAMS}
+            arrays["classes"] = model.classes_
+            arrays["learner_weights"] = np.asarray(model.learner_weights_, dtype=np.float64)
+            arrays["learner_errors"] = np.asarray(model.learner_errors_, dtype=np.float64)
+            shared = self._serialize_learners(model.learners_, arrays, quantize)
+            params["n_learners"] = len(model.learners_)
+            learner_params = [
+                {key: getattr(learner, key) for key in _ONLINEHD_PARAMS}
+                for learner in model.learners_
+            ]
+        elif isinstance(model, OnlineHD):
+            if model.class_hypervectors_ is None:
+                raise RegistryError("cannot save an unfitted OnlineHD; call fit() first")
+            kind = "onlinehd"
+            params = {key: getattr(model, key) for key in _ONLINEHD_PARAMS}
+            arrays["classes"] = model.classes_
+            shared = self._serialize_learners([model], arrays, quantize)
+            learner_params = None
+        else:
+            raise RegistryError(
+                f"cannot save {type(model).__name__}; expected BoostHD or OnlineHD"
+            )
+
+        version = (self.versions(name) or [0])[-1] + 1
+        final_dir = self.root / name / f"v{version}"
+        staging_dir = self.root / name / f".staging-v{version}"
+        staging_dir.mkdir(parents=True, exist_ok=False)
+        try:
+            np.savez_compressed(staging_dir / "model.npz", **arrays)
+            manifest = {
+                "name": name,
+                "version": version,
+                "kind": kind,
+                "quantize": quantize,
+                "shared_projection": shared,
+                "params": params,
+                "metadata": metadata,
+            }
+            if learner_params is not None:
+                manifest["learner_params"] = learner_params
+            (staging_dir / "meta.json").write_text(json.dumps(manifest, indent=2))
+            os.rename(staging_dir, final_dir)
+        except BaseException:
+            for leftover in staging_dir.glob("*"):
+                leftover.unlink()
+            if staging_dir.is_dir():
+                staging_dir.rmdir()
+            raise
+        return version
+
+    # ------------------------------------------------------------------ load
+    def _deserialize_learner(
+        self,
+        archive,
+        index: int,
+        params: dict,
+        quantize: str | None,
+        shared_parent: NonlinearEncoder | None,
+    ) -> OnlineHD:
+        prefix = f"learner_{index}_"
+        if shared_parent is not None:
+            start, stop = (int(value) for value in archive[f"{prefix}slice"])
+            encoder: Encoder = shared_parent.slice(start, stop)
+        else:
+            encoder = NonlinearEncoder.from_params(
+                archive[f"{prefix}basis"],
+                archive[f"{prefix}bias"],
+                bandwidth=float(archive[f"{prefix}bandwidth"]),
+            )
+        seed = params.get("seed")
+        learner = OnlineHD(
+            dim=encoder.dim,
+            lr=float(params.get("lr", 0.035)),
+            epochs=int(params.get("epochs", 20)),
+            bootstrap=bool(params.get("bootstrap", True)),
+            bandwidth=float(params.get("bandwidth", 1.5)),
+            encoder=encoder,
+            seed=None if seed is None else int(seed),
+        )
+        learner.classes_ = archive[f"{prefix}classes"]
+        learner.class_hypervectors_ = _load_hypervectors(archive, prefix, quantize)
+        return learner
+
+    def load(self, name: str, version: int | None = None) -> BoostHD | OnlineHD:
+        """Reconstruct a stored model, ready to predict (or ``compile()``)."""
+        record = self.describe(name, version)
+        meta = json.loads((record.path / "meta.json").read_text())
+        with np.load(record.path / "model.npz") as archive:
+            shared_parent = None
+            if record.shared_projection:
+                shared_parent = NonlinearEncoder.from_params(
+                    archive["root_basis"],
+                    archive["root_bias"],
+                    bandwidth=float(archive["root_bandwidth"]),
+                )
+            params = record.params
+            if record.kind == "onlinehd":
+                model = self._deserialize_learner(
+                    archive, 0, params, record.quantize, shared_parent
+                )
+                if shared_parent is not None and model.encoder.dim == shared_parent.dim:
+                    # A single learner spanning the whole root *is* the root.
+                    model.encoder = shared_parent
+                return model
+            if record.kind != "boosthd":
+                raise RegistryError(f"unknown model kind {record.kind!r} in manifest")
+            learner_params = meta.get("learner_params") or []
+            ensemble = BoostHD(
+                total_dim=int(params["total_dim"]),
+                n_learners=int(params["n_learners"]),
+                lr=float(params["lr"]),
+                epochs=int(params["epochs"]),
+                bootstrap=bool(params["bootstrap"]),
+                aggregation=str(params["aggregation"]),
+                uniform_blend=float(params["uniform_blend"]),
+                bandwidth=float(params["bandwidth"]),
+                learning_rate=float(params["learning_rate"]),
+                seed=None if params.get("seed") is None else int(params["seed"]),
+            )
+            ensemble.classes_ = archive["classes"]
+            ensemble.learner_weights_ = np.asarray(archive["learner_weights"], dtype=np.float64)
+            ensemble.learner_errors_ = np.asarray(archive["learner_errors"], dtype=np.float64)
+            ensemble.learners_ = [
+                self._deserialize_learner(
+                    archive,
+                    index,
+                    learner_params[index] if index < len(learner_params) else params,
+                    record.quantize,
+                    shared_parent,
+                )
+                for index in range(int(params["n_learners"]))
+            ]
+            return ensemble
+
+    def load_compiled(self, name: str, version: int | None = None, **compile_options):
+        """Load a stored model and compile it into the fused engine.
+
+        Keyword options (``dtype``, ``chunk_size``, ``cache_size``,
+        ``cache_bytes``) are forwarded to
+        :func:`repro.engine.compile_model`; the compiled scorer's predictions
+        are byte-identical to compiling the original model with the same
+        options.
+        """
+        from ..engine import compile_model
+
+        return compile_model(self.load(name, version), **compile_options)

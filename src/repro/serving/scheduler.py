@@ -1,0 +1,227 @@
+"""Micro-batching scheduler: coalesce many sessions into one fused call.
+
+Scoring a single 1-row window through :class:`~repro.engine.CompiledModel`
+pays full per-call overhead (validation, chunk resolution, a BLAS call on a
+degenerate ``(1, f)`` operand) for one prediction.  The engine's whole design
+point — PR 1's >= 3x speedup — is that one ``(B, f)`` batch costs barely more
+than one row, so a service juggling many concurrent
+:class:`~repro.serving.session.StreamSession` streams should never score
+windows one at a time.  :class:`MicroBatchScheduler` buffers ready windows
+from any number of sessions and releases them in fused batches, bounded by
+
+* ``max_batch`` — release as soon as this many windows are pending (caps
+  per-window latency *and* the fused call's memory), and
+* ``max_wait`` — release a partial batch once its oldest window has waited
+  this long (bounds tail latency under light traffic).
+
+The scheduler is synchronous and single-threaded by design: the event loop
+of the host service calls :meth:`submit` as windows appear and :meth:`pump`
+whenever it is willing to run a fused call (:meth:`flush` forces one at
+shutdown).  All timing bookkeeping — queue waits, batch sizes, per-window
+end-to-end latency — accumulates in :class:`SchedulerStats`, which the
+serving benchmark reads for its throughput and p50/p99 report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Prediction", "SchedulerStats", "MicroBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Scored window routed back to its session.
+
+    ``queue_seconds`` is the time the window spent waiting for its batch,
+    ``score_seconds`` the duration of the fused call that scored it (shared
+    by every window in the batch), and ``batch_size`` how many windows that
+    call coalesced.
+    """
+
+    session_id: str
+    window_index: int
+    label: object
+    scores: np.ndarray
+    queue_seconds: float
+    score_seconds: float
+    batch_size: int
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end scheduler latency: queue wait plus fused-call time."""
+        return self.queue_seconds + self.score_seconds
+
+
+class SchedulerStats:
+    """Accumulated timing/throughput statistics of one scheduler.
+
+    Totals (window/batch counts, summed scoring time, mean batch size) cover
+    the scheduler's whole lifetime; per-window latencies are kept in a
+    bounded window of the most recent ``latency_window`` observations so a
+    long-running service's stats stay O(1) in memory — percentiles therefore
+    describe *recent* latency, which is what an operator watches anyway.
+    """
+
+    def __init__(self, *, latency_window: int = 8192) -> None:
+        if latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        self.windows_scored = 0
+        self.batches = 0
+        self.total_score_seconds = 0.0
+        self.latencies: deque[float] = deque(maxlen=int(latency_window))
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.windows_scored / self.batches if self.batches else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Recent per-window end-to-end latency percentile (e.g. 50, 99), seconds."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, percentile))
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulerStats(windows={self.windows_scored}, "
+            f"batches={self.batches}, "
+            f"mean_batch={self.mean_batch_size:.1f}, "
+            f"p50={self.latency_percentile(50) * 1e3:.2f}ms, "
+            f"p99={self.latency_percentile(99) * 1e3:.2f}ms)"
+        )
+
+
+class _PendingWindow:
+    __slots__ = ("session_id", "window_index", "features", "enqueued_at")
+
+    def __init__(self, session_id, window_index, features, enqueued_at):
+        self.session_id = session_id
+        self.window_index = window_index
+        self.features = features
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatchScheduler:
+    """Coalesces ready windows from many sessions into fused scoring calls.
+
+    Parameters
+    ----------
+    scorer:
+        Any object exposing ``decision_function(X) -> (n, k)`` and
+        ``classes_`` — a :class:`~repro.engine.CompiledModel` in production,
+        or the loop-path model itself for a reference run.
+    max_batch:
+        Maximum windows per fused call; a full queue triggers release.
+    max_wait:
+        Seconds the oldest pending window may wait before a partial batch is
+        released by :meth:`pump`.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        scorer,
+        *,
+        max_batch: int = 64,
+        max_wait: float = 0.010,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if not hasattr(scorer, "decision_function") or not hasattr(scorer, "classes_"):
+            raise TypeError(
+                f"{type(scorer).__name__} cannot score windows; expected an "
+                "object with decision_function() and classes_"
+            )
+        self.scorer = scorer
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.clock = clock
+        self.stats = SchedulerStats()
+        self._queue: list[_PendingWindow] = []
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def pending(self) -> int:
+        """Number of windows waiting for the next fused call."""
+        return len(self._queue)
+
+    def ready(self) -> bool:
+        """Whether :meth:`pump` would release a batch right now."""
+        if len(self._queue) >= self.max_batch:
+            return True
+        if not self._queue:
+            return False
+        return self.clock() - self._queue[0].enqueued_at >= self.max_wait
+
+    # ------------------------------------------------------------- operation
+    def submit(self, session_id: str, window_index: int, features: np.ndarray) -> None:
+        """Enqueue one ready window (e.g. a :class:`~repro.serving.ReadyWindow`)."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValueError(
+                f"features must be a flat vector, got ndim={features.ndim}"
+            )
+        self._queue.append(
+            _PendingWindow(session_id, window_index, features, self.clock())
+        )
+
+    def _score_batch(self, batch: list[_PendingWindow]) -> list[Prediction]:
+        released_at = self.clock()
+        features = np.stack([pending.features for pending in batch])
+        start = self.clock()
+        scores = self.scorer.decision_function(features)
+        score_seconds = self.clock() - start
+        labels = self.scorer.classes_[np.argmax(scores, axis=1)]
+
+        predictions = []
+        for row, pending in enumerate(batch):
+            prediction = Prediction(
+                session_id=pending.session_id,
+                window_index=pending.window_index,
+                label=labels[row],
+                scores=scores[row],
+                queue_seconds=released_at - pending.enqueued_at,
+                score_seconds=score_seconds,
+                batch_size=len(batch),
+            )
+            predictions.append(prediction)
+            self.stats.latencies.append(prediction.latency_seconds)
+        self.stats.windows_scored += len(batch)
+        self.stats.batches += 1
+        self.stats.total_score_seconds += score_seconds
+        return predictions
+
+    def flush(self) -> list[Prediction]:
+        """Score everything pending (in fused calls of at most ``max_batch``)."""
+        predictions: list[Prediction] = []
+        while self._queue:
+            batch, self._queue = (
+                self._queue[: self.max_batch],
+                self._queue[self.max_batch :],
+            )
+            predictions.extend(self._score_batch(batch))
+        return predictions
+
+    def pump(self) -> list[Prediction]:
+        """Release batches per the ``max_batch`` / ``max_wait`` policy.
+
+        Call this from the service loop after submitting windows; it returns
+        immediately with no work when neither bound has been reached.
+        """
+        predictions: list[Prediction] = []
+        while self.ready():
+            batch, self._queue = (
+                self._queue[: self.max_batch],
+                self._queue[self.max_batch :],
+            )
+            predictions.extend(self._score_batch(batch))
+        return predictions

@@ -1,0 +1,126 @@
+"""End-to-end streaming facade: sessions in, micro-batched predictions out.
+
+:class:`StreamingService` wires the serving pieces together for the common
+case — one scorer, many subjects:
+
+* :meth:`open_session` registers a subject and its windowing configuration
+  (a :class:`~repro.serving.session.StreamSession` per subject),
+* :meth:`push` feeds raw samples for one subject, submits any completed
+  windows to the shared :class:`~repro.serving.scheduler.MicroBatchScheduler`
+  and returns whatever predictions the scheduler released,
+* :meth:`drain` flushes the remaining partial batch (shutdown, or the end of
+  a simulation tick).
+
+The service itself is a thin loop over those parts; anything fancier
+(per-session priorities, backpressure, an async transport) should compose
+the parts directly rather than grow this facade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scheduler import MicroBatchScheduler, Prediction
+from .session import StreamSession
+
+__all__ = ["StreamingService"]
+
+
+class StreamingService:
+    """Serve many concurrent physiological streams against one scorer.
+
+    Parameters
+    ----------
+    scorer:
+        Object with ``decision_function`` / ``classes_`` — typically a
+        :class:`~repro.engine.CompiledModel` or
+        :class:`~repro.serving.adaptation.AdaptiveModel`.
+    window_samples, step_samples, smoothing_window, statistics:
+        Default windowing/featurization for sessions opened without explicit
+        overrides; must match what the scorer was trained on.
+    n_channels:
+        Channels per raw sample.
+    max_batch, max_wait:
+        Micro-batching policy, forwarded to the scheduler.
+    transform:
+        Optional callable applied to each window's ``(1, n_features)``
+        feature row before scoring — typically the training dataset's fitted
+        scaler (``dataset.scaler.transform``), since models are trained on
+        standard-scaled features and live streams arrive raw.
+    """
+
+    def __init__(
+        self,
+        scorer,
+        *,
+        n_channels: int,
+        window_samples: int,
+        step_samples: int | None = None,
+        smoothing_window: int = 30,
+        statistics: tuple[str, ...] = ("min", "max", "mean", "std"),
+        max_batch: int = 64,
+        max_wait: float = 0.010,
+        transform=None,
+    ) -> None:
+        self.scheduler = MicroBatchScheduler(
+            scorer, max_batch=max_batch, max_wait=max_wait
+        )
+        self.n_channels = int(n_channels)
+        self.window_samples = int(window_samples)
+        self.step_samples = step_samples
+        self.smoothing_window = int(smoothing_window)
+        self.statistics = tuple(statistics)
+        self.transform = transform
+        self.sessions: dict[str, StreamSession] = {}
+
+    def open_session(self, session_id: str, **overrides) -> StreamSession:
+        """Register a subject's stream; keyword overrides reach StreamSession."""
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        options = {
+            "n_channels": self.n_channels,
+            "window_samples": self.window_samples,
+            "step_samples": self.step_samples,
+            "smoothing_window": self.smoothing_window,
+            "statistics": self.statistics,
+        }
+        options.update(overrides)
+        session = StreamSession(session_id, **options)
+        self.sessions[session_id] = session
+        return session
+
+    def close_session(self, session_id: str) -> StreamSession:
+        """Deregister a subject (pending submitted windows still get scored)."""
+        try:
+            return self.sessions.pop(session_id)
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def push(self, session_id: str, samples: np.ndarray) -> list[Prediction]:
+        """Feed raw samples for one subject; return newly released predictions.
+
+        Completed windows are featurized incrementally inside the session and
+        submitted to the scheduler; the scheduler releases fused batches per
+        its ``max_batch`` / ``max_wait`` policy, so the returned list may
+        contain predictions for *other* sessions whose windows shared the
+        batch — route them by ``Prediction.session_id``.
+        """
+        try:
+            session = self.sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+        for ready in session.push(samples):
+            features = ready.features
+            if self.transform is not None:
+                features = np.asarray(self.transform(features[None]))[0]
+            self.scheduler.submit(ready.session_id, ready.window_index, features)
+        return self.scheduler.pump()
+
+    def drain(self) -> list[Prediction]:
+        """Force-score every pending window (end of tick / shutdown)."""
+        return self.scheduler.flush()
+
+    @property
+    def stats(self):
+        """The scheduler's accumulated :class:`SchedulerStats`."""
+        return self.scheduler.stats

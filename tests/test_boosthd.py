@@ -205,3 +205,41 @@ class TestBaggedHD:
             BaggedHD(total_dim=5, n_learners=10)
         with pytest.raises(ValueError):
             BaggedHD(bandwidth=0.0)
+
+
+class TestBoostHDPartialFit:
+    def test_updates_every_learner_and_keeps_alphas(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = BoostHD(total_dim=120, n_learners=4, epochs=1, seed=9).fit(
+            X_train, y_train
+        )
+        alphas = model.learner_weights_.copy()
+        snapshots = [learner.class_hypervectors_.copy() for learner in model.learners_]
+        model.partial_fit(X_train, y_train)
+        np.testing.assert_array_equal(model.learner_weights_, alphas)
+        for learner, snapshot in zip(model.learners_, snapshots):
+            assert not np.array_equal(learner.class_hypervectors_, snapshot)
+
+    def test_unseen_class_grows_ensemble(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = BoostHD(total_dim=120, n_learners=3, epochs=1, seed=1).fit(
+            X_train, y_train
+        )
+        n_before = len(model.classes_)
+        model.partial_fit(X_train[:5], np.full(5, 99))
+        assert len(model.classes_) == n_before + 1 and 99 in model.classes_
+        for learner in model.learners_:
+            assert 99 in learner.classes_
+        # Inference still works over the grown class set (loop + fused).
+        scores = model.decision_function(X_train[:5])
+        assert scores.shape == (5, n_before + 1)
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_allclose(
+            engine.decision_function(X_train[:5]), scores, atol=1e-9
+        )
+
+    def test_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BoostHD(total_dim=40, n_learners=2).partial_fit(
+                np.ones((4, 3)), np.zeros(4)
+            )

@@ -314,3 +314,81 @@ class TestCompileErrors:
         engine = model.compile()
         with pytest.raises(ValueError, match="features"):
             engine.predict(np.zeros((3, 99)))
+
+
+class TestCacheByteBound:
+    def test_max_bytes_evicts_by_size(self):
+        cache = LRUCache(None, max_bytes=3 * 80)  # three 10-float64 entries
+        for key in (b"a", b"b", b"c"):
+            cache.put(key, np.zeros(10))
+        assert len(cache) == 3 and cache.current_bytes == 240
+        cache.put(b"d", np.zeros(10))  # over budget: evicts LRU (a)
+        assert len(cache) == 3
+        assert cache.get(b"a") is None
+        assert cache.get(b"d") is not None
+        assert cache.stats.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_value_is_not_stored(self):
+        cache = LRUCache(None, max_bytes=100)
+        cache.put(b"small", np.zeros(10))
+        cache.put(b"huge", np.zeros(1000))  # 8000 bytes > budget: skipped
+        assert cache.get(b"huge") is None
+        assert cache.get(b"small") is not None  # not displaced by the giant
+
+    def test_count_and_byte_bounds_combine(self):
+        cache = LRUCache(2, max_bytes=10_000)
+        cache.put(b"a", np.zeros(10))
+        cache.put(b"b", np.zeros(10))
+        cache.put(b"c", np.zeros(10))
+        assert len(cache) == 2  # count bound still applies
+
+    def test_replacement_updates_byte_accounting(self):
+        cache = LRUCache(None, max_bytes=1000)
+        cache.put(b"a", np.zeros(10))
+        cache.put(b"a", np.zeros(50))
+        assert len(cache) == 1 and cache.current_bytes == 400
+
+    def test_clear_resets_bytes(self):
+        cache = LRUCache(4, max_bytes=1000)
+        cache.put(b"a", np.zeros(10))
+        cache.clear()
+        assert cache.current_bytes == 0 and len(cache) == 0
+
+    def test_hit_ratio_alias(self):
+        cache = LRUCache(4)
+        cache.put(b"a", np.zeros(2))
+        cache.get(b"a")
+        cache.get(b"missing")
+        assert cache.stats.hit_ratio == cache.stats.hit_rate == 0.5
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            LRUCache(None)
+        with pytest.raises(ValueError):
+            LRUCache(None, max_bytes=0)
+
+    def test_compile_cache_bytes_option(self, blobs_split):
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64, chunk_size=5, cache_bytes=1 << 20)
+        assert engine.cache is not None
+        assert engine.cache.maxsize is None
+        assert engine.cache.max_bytes == 1 << 20
+        baseline = model.decision_function(X_test)
+        for _ in range(2):
+            np.testing.assert_allclose(
+                engine.decision_function(X_test), baseline, atol=1e-9
+            )
+        assert engine.cache.stats.hit_ratio > 0.0
+        assert engine.cache.current_bytes <= engine.cache.max_bytes
+
+    def test_tiny_byte_budget_stays_correct(self, blobs_split):
+        """A budget too small to hold even one chunk must not break scoring."""
+        _, X_test, _, _ = blobs_split
+        model = make_boosthd(blobs_split)
+        engine = model.compile(dtype=np.float64, chunk_size=5, cache_bytes=64)
+        np.testing.assert_allclose(
+            engine.decision_function(X_test), model.decision_function(X_test), atol=1e-9
+        )
+        assert len(engine.cache) == 0  # nothing fit, nothing cached

@@ -119,3 +119,81 @@ class TestOnlineHD:
         y = np.repeat([0, 1], 30)
         model = OnlineHD(dim=300, epochs=3, seed=0).fit(X, y)
         assert model.score(X, y) > 0.9
+
+
+class TestPartialFit:
+    def test_one_epoch_matches_one_adaptive_epoch_of_fit(self, blobs_split):
+        """fit(epochs=k) + partial_fit == fit(epochs=k+1), bit for bit."""
+        X_train, _, y_train, _ = blobs_split
+        for k in (0, 2):
+            reference = OnlineHD(dim=80, epochs=k + 1, seed=7).fit(X_train, y_train)
+            incremental = OnlineHD(dim=80, epochs=k, seed=7).fit(X_train, y_train)
+            incremental.partial_fit(X_train, y_train)
+            np.testing.assert_array_equal(
+                incremental.class_hypervectors_, reference.class_hypervectors_
+            )
+
+    def test_weighted_bootstrap_epoch_matches_fit(self, blobs):
+        X, y = blobs
+        weights = np.linspace(1.0, 3.0, len(y))
+        weights /= weights.sum()
+        reference = OnlineHD(dim=80, epochs=1, bootstrap=True, seed=3).fit(
+            X, y, sample_weight=weights
+        )
+        incremental = OnlineHD(dim=80, epochs=0, bootstrap=True, seed=3).fit(
+            X, y, sample_weight=weights
+        )
+        incremental.partial_fit(X, y, sample_weight=weights)
+        np.testing.assert_array_equal(
+            incremental.class_hypervectors_, reference.class_hypervectors_
+        )
+
+    def test_repeated_partial_fit_keeps_accuracy(self, blobs_split):
+        X_train, X_test, y_train, y_test = blobs_split
+        model = OnlineHD(dim=100, epochs=1, seed=0).fit(X_train, y_train)
+        baseline = model.score(X_test, y_test)
+        for _ in range(3):
+            model.partial_fit(X_train, y_train)
+        assert model.score(X_test, y_test) >= baseline - 0.1
+
+    def test_unseen_class_grows_model(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = OnlineHD(dim=80, epochs=1, seed=1).fit(X_train, y_train)
+        n_before = len(model.classes_)
+        novel = np.full(5, 99)
+        model.partial_fit(X_train[:5], novel)
+        assert len(model.classes_) == n_before + 1
+        assert 99 in model.classes_
+        assert model.class_hypervectors_.shape[0] == n_before + 1
+        # The new class is reachable: its own samples now score highest on it.
+        assert set(model.predict(X_train[:5])) <= set(model.classes_)
+
+    def test_partial_fit_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OnlineHD(dim=50).partial_fit(np.ones((4, 3)), np.zeros(4))
+
+    def test_feature_mismatch_raises(self, blobs_split):
+        X_train, _, y_train, _ = blobs_split
+        model = OnlineHD(dim=50, epochs=0, seed=0).fit(X_train, y_train)
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(np.ones((4, X_train.shape[1] + 1)), np.zeros(4))
+
+
+class TestEncoderFromParams:
+    def test_round_trip_is_bit_identical(self, blobs):
+        X, _ = blobs
+        original = NonlinearEncoder(X.shape[1], 64, bandwidth=1.7, rng=0)
+        rebuilt = NonlinearEncoder.from_params(
+            original.basis, original.bias, bandwidth=original.bandwidth
+        )
+        np.testing.assert_array_equal(rebuilt.encode(X), original.encode(X))
+        assert rebuilt.dim == original.dim
+        assert rebuilt.in_features == original.in_features
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            NonlinearEncoder.from_params(np.ones(4), np.ones(4))
+        with pytest.raises(ValueError):
+            NonlinearEncoder.from_params(np.ones((4, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            NonlinearEncoder.from_params(np.ones((4, 2)), np.ones(4), bandwidth=0.0)

@@ -168,3 +168,92 @@ class TestFeatureExtraction:
         per_channel = features.reshape(4, 2, 3)
         assert np.all(per_channel[..., 0] <= per_channel[..., 1] + 1e-12)
         assert np.all(per_channel[..., 1] <= per_channel[..., 2] + 1e-12)
+
+
+class TestMovingAveragePrecision:
+    @staticmethod
+    def _naive(signal: np.ndarray, window: int) -> np.ndarray:
+        """Reference O(n*w) filter: per-position mean over the causal window."""
+        length = len(signal)
+        effective = min(window, length)
+        out = np.empty(length)
+        for position in range(length):
+            count = min(effective, position + 1)
+            out[position] = np.mean(signal[position - count + 1 : position + 1])
+        return out
+
+    def test_long_high_offset_stream_regression(self):
+        """Regression: the cumsum filter must not lose digits on long, high
+        offset streams (hours of ~33 degC skin temperature, or raw ADC counts).
+
+        The previous implementation's raw cumulative sum grew to n * offset
+        and its windowed differences cancelled catastrophically (~1e-6 error
+        at offset 1e7); mean-centring before the cumsum keeps the error at
+        representation level (~1e-9).
+        """
+        rng = np.random.default_rng(0)
+        n = 20_000
+        signal = 1e7 + np.linspace(0.0, 50.0, n) + rng.standard_normal(n)
+        smoothed = moving_average(signal, 30)
+        np.testing.assert_allclose(smoothed, self._naive(signal, 30), atol=1e-7, rtol=0)
+
+    def test_offset_invariance(self):
+        rng = np.random.default_rng(1)
+        signal = rng.standard_normal(500)
+        base = moving_average(signal, 30)
+        shifted = moving_average(signal + 1e6, 30)
+        np.testing.assert_allclose(shifted - 1e6, base, atol=1e-8)
+
+
+class TestStreamChunks:
+    def test_chunk_shapes_and_count(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=5, rng=0)
+        chunks = list(
+            simulator.stream_chunks(WESAD_STATES[0], chunk_samples=24, n_chunks=5)
+        )
+        assert len(chunks) == 5
+        assert all(chunk.shape == (len(CHANNELS), 24) for chunk in chunks)
+
+    def test_default_chunk_is_one_window(self):
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=5, rng=0)
+        chunk = next(iter(simulator.stream_chunks(WESAD_STATES[0], n_chunks=1)))
+        assert chunk.shape == (len(CHANNELS), simulator.samples_per_window)
+
+    def test_periodic_channels_continue_across_chunks(self):
+        """RESP's phase must carry over chunk boundaries (continuous time)."""
+        simulator = SignalSimulator(
+            sampling_rate=32, window_seconds=4, noise_level=0.0, rng=0
+        )
+        resp_index = CHANNELS.index("RESP")
+        joined = np.concatenate(
+            [
+                chunk[resp_index]
+                for chunk in simulator.stream_chunks(
+                    WESAD_STATES[0], chunk_samples=64, n_chunks=4
+                )
+            ]
+        )
+        # A noiseless respiration wave at a continuous phase has no jumps
+        # larger than its max per-sample slope 2*pi*f/fs.
+        state = simulator._effective_state(WESAD_STATES[0], SubjectPhysiology())
+        max_step = 2.0 * np.pi * (state.respiration_rate / 60.0) / simulator.sampling_rate
+        assert np.max(np.abs(np.diff(joined))) <= max_step * 1.01
+
+    def test_stream_statistics_match_windows(self):
+        """Streamed chunks have the same per-state statistical signature."""
+        simulator = SignalSimulator(sampling_rate=16, window_seconds=10, rng=0)
+        eda_index = CHANNELS.index("EDA")
+        baseline = np.concatenate(
+            [c[eda_index] for c in simulator.stream_chunks(WESAD_STATES[0], n_chunks=6)]
+        )
+        stress = np.concatenate(
+            [c[eda_index] for c in simulator.stream_chunks(WESAD_STATES[1], n_chunks=6)]
+        )
+        assert stress.mean() > baseline.mean()
+
+    def test_invalid_arguments_raise(self):
+        simulator = SignalSimulator(rng=0)
+        with pytest.raises(ValueError):
+            next(iter(simulator.stream_chunks(WESAD_STATES[0], chunk_samples=0)))
+        with pytest.raises(ValueError):
+            next(iter(simulator.stream_chunks(WESAD_STATES[0], n_chunks=0)))

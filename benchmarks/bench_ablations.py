@@ -10,19 +10,23 @@ Four ablations, each on the WESAD-like dataset with the same dimension budget:
    OnlineHD model of the same total dimension.
 """
 
-import numpy as np
-
 from repro.core import BaggedHD, BoostHD, SharedPartitioner
+from repro.experiments import run_model
 from repro.hdc import OnlineHD
 
 
 def _mean_accuracy(build, X_train, y_train, X_test, y_test, n_runs=2):
-    scores = []
-    for run in range(n_runs):
-        model = build(run)
-        model.fit(X_train, y_train)
-        scores.append(model.score(X_test, y_test))
-    return float(np.mean(scores))
+    """Mean accuracy over seeded runs, measured through the runtime core.
+
+    ``run_model`` routes each run through
+    :func:`repro.runtime.cells.single_run` with the legacy per-run seeds, so
+    ablation numbers stay comparable with the suite tables.  The engine pass
+    is skipped: ablations compare accuracies, not inference paths.
+    """
+    result = run_model(
+        build, X_train, y_train, X_test, y_test, n_runs=n_runs, engine=False
+    )
+    return result.mean_accuracy
 
 
 def test_ablation_aggregation(run_once, wesad_split, scale):

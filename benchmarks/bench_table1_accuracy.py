@@ -16,6 +16,8 @@ def test_table1_accuracy(run_once, suite):
     print("\n" + text)
     winners = table_winner_summary(data)
     print(f"Best model per dataset: {winners}")
+    if suite.report is not None:
+        print(suite.report.summary())
 
     # Structural checks: every dataset has all seven models with valid scores.
     assert set(data) == set(suite.datasets())

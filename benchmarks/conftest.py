@@ -72,7 +72,12 @@ def wesad_split(wesad):
 
 @pytest.fixture(scope="session")
 def suite(datasets, scale):
-    """One shared model-suite run reused by the Table I and Table II benchmarks."""
+    """One shared model-suite run reused by the Table I and Table II benchmarks.
+
+    Executes through :mod:`repro.runtime`: set ``REPRO_MAX_WORKERS`` to fan
+    the (dataset x model x run) grid out over a process pool — accuracies are
+    bit-identical to the serial run at any worker count.
+    """
     from repro.experiments import run_suite
 
     return run_suite(datasets, scale=scale, n_runs=scale.n_runs)

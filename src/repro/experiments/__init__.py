@@ -13,7 +13,15 @@ from .figures import (
 )
 from .registry import MODEL_NAMES, build_model, model_builders
 from .reporting import format_mean_std, format_series, format_table
-from .runner import ModelRunResult, SuiteResult, load_datasets, run_model, run_suite
+from .runner import (
+    DATASET_NAMES,
+    ModelRunResult,
+    SuiteResult,
+    load_dataset,
+    load_datasets,
+    run_model,
+    run_suite,
+)
 from .tables import (
     average_rank,
     table1_accuracy,
@@ -41,8 +49,10 @@ __all__ = [
     "format_mean_std",
     "format_series",
     "format_table",
+    "DATASET_NAMES",
     "ModelRunResult",
     "SuiteResult",
+    "load_dataset",
     "load_datasets",
     "run_model",
     "run_suite",

@@ -12,19 +12,18 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..analysis.robustness import BitflipSweepResult, bitflip_sweep
+from ..analysis.robustness import BitflipSweepResult
 from ..analysis.spectra import KernelShapeReport, encoded_data_spread, kernel_shape_report
-from ..analysis.stability import DimensionSweepResult, dimension_stability_sweep
-from ..baselines.metrics import macro_accuracy
+from ..analysis.stability import DimensionSweepPoint, DimensionSweepResult
 from ..core.boosthd import BoostHD
 from ..core.span import SpanUtilization, span_utilization
 from ..core.theory import term_convergence_table
-from ..data.imbalance import make_imbalanced
 from ..data.loaders import TabularDataset
 from ..hdc.encoder import NonlinearEncoder
 from ..hdc.onlinehd import OnlineHD
+from ..runtime.cells import bitflip_cell, heatmap_cell, imbalance_cell, stability_cell
+from ..runtime.executor import parallel_map
 from .config import ExperimentScale, get_scale
-from .registry import build_model
 from .reporting import format_series
 
 __all__ = [
@@ -78,6 +77,7 @@ def figure3_heatmap(
     epochs: int = 10,
     test_fraction: float = 0.3,
     seed: int = 0,
+    max_workers: int | str | None = None,
 ) -> tuple[HeatmapResult, str]:
     """Figure 3: accuracy heatmap over ensemble size and dimensionality.
 
@@ -85,25 +85,32 @@ def figure3_heatmap(
     dimensionality given to *each* weak learner; ``mode="total"`` reproduces
     panel (b), where ``dims`` are ``D_total`` split across the learners —
     the configuration that collapses when ``D_total / N_L`` gets too small.
+
+    Every (N_L, D) cell trains independently with a seed derived from its
+    grid position, so ``max_workers`` > 1 fans the grid out over a process
+    pool with bit-identical results.
     """
     if mode not in ("per_learner", "total"):
         raise ValueError(f"mode must be 'per_learner' or 'total', got {mode!r}")
-    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
-    grid = np.zeros((len(learner_counts), len(dims)))
+    split = dataset.split(test_fraction=test_fraction, rng=seed)
+    items = []
     for row, n_learners in enumerate(learner_counts):
         for column, dim in enumerate(dims):
             total_dim = dim * n_learners if mode == "per_learner" else dim
-            if total_dim < n_learners:
-                grid[row, column] = np.nan
-                continue
-            model = BoostHD(
-                total_dim=int(total_dim),
-                n_learners=int(n_learners),
-                epochs=epochs,
-                seed=seed + row * 100 + column,
+            items.append(
+                (
+                    row,
+                    column,
+                    int(n_learners),
+                    int(total_dim),
+                    int(epochs),
+                    seed + row * 100 + column,
+                )
             )
-            model.fit(X_train, y_train)
-            grid[row, column] = model.score(X_test, y_test)
+    scores = parallel_map(heatmap_cell, items, max_workers=max_workers, shared=split)
+    grid = np.zeros((len(learner_counts), len(dims)))
+    for (row, column, *_), score in zip(items, scores):
+        grid[row, column] = score
     result = HeatmapResult(
         mode=mode,
         learner_counts=tuple(int(count) for count in learner_counts),
@@ -213,36 +220,40 @@ def figure6_stability(
     test_fraction: float = 0.3,
     seed: int = 0,
     scale: ExperimentScale | None = None,
+    max_workers: int | str | None = None,
 ) -> tuple[dict[str, DimensionSweepResult], str]:
-    """Figure 6: accuracy and σ of BoostHD vs OnlineHD as functions of D."""
+    """Figure 6: accuracy and σ of BoostHD vs OnlineHD as functions of D.
+
+    Every (model, dimension, run) point is an independent cell seeded by its
+    run index, so the sweep parallelises over ``max_workers`` workers with
+    results identical to the serial path.
+    """
     scale = scale or get_scale()
     n_runs = n_runs or scale.sweep_runs
     epochs = epochs or scale.hd_epochs
-    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+    split = dataset.split(test_fraction=test_fraction, rng=seed)
 
-    online_sweep = dimension_stability_sweep(
-        lambda dim, run: OnlineHD(dim=dim, epochs=epochs, seed=run),
-        dims,
-        X_train,
-        y_train,
-        X_test,
-        y_test,
-        n_runs=n_runs,
-        model_name="OnlineHD",
-    )
-    boost_sweep = dimension_stability_sweep(
-        lambda dim, run: BoostHD(
-            total_dim=dim, n_learners=min(n_learners, dim), epochs=epochs, seed=run
-        ),
-        dims,
-        X_train,
-        y_train,
-        X_test,
-        y_test,
-        n_runs=n_runs,
-        model_name="BoostHD",
-    )
-    results = {"OnlineHD": online_sweep, "BoostHD": boost_sweep}
+    kinds = ("OnlineHD", "BoostHD")
+    items = [
+        (kind, int(dim), run, int(n_learners), int(epochs))
+        for kind in kinds
+        for dim in dims
+        for run in range(n_runs)
+    ]
+    scores = parallel_map(stability_cell, items, max_workers=max_workers, shared=split)
+    results = {}
+    cursor = 0
+    for kind in kinds:
+        points = []
+        for dim in dims:
+            points.append(
+                DimensionSweepPoint(
+                    dim=int(dim), scores=np.asarray(scores[cursor : cursor + n_runs])
+                )
+            )
+            cursor += n_runs
+        results[kind] = DimensionSweepResult(model_name=kind, points=tuple(points))
+    online_sweep, boost_sweep = results["OnlineHD"], results["BoostHD"]
     text = format_series(
         [str(dim) for dim in dims],
         {
@@ -269,41 +280,48 @@ def figure7_overfitting(
     test_fraction: float = 0.3,
     seed: int = 0,
     scale: ExperimentScale | None = None,
+    max_workers: int | str | None = None,
 ) -> tuple[dict[int, dict[str, np.ndarray]], str]:
     """Figure 7: macro accuracy vs the imbalance ratio r (Eq. 8).
 
     For every ``D_total`` panel the training set of all classes except the
     target class is shrunk to the keep fraction r, models are retrained and
-    macro accuracy on the untouched test set is reported.
+    macro accuracy on the untouched test set is reported.  Each
+    (model, D_total, r) point is an independent cell whose imbalanced
+    training subset and model seed derive from the keep-fraction index, so
+    ``max_workers`` > 1 produces bit-identical panels.
     """
     scale = scale or get_scale()
     epochs = epochs or scale.hd_epochs
-    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+    split = dataset.split(test_fraction=test_fraction, rng=seed)
 
+    kinds = ("OnlineHD", "BoostHD")
+    items = [
+        (
+            kind,
+            int(total_dim),
+            index,
+            float(fraction),
+            int(target_class),
+            int(n_learners),
+            int(epochs),
+            int(seed),
+        )
+        for total_dim in total_dims
+        for kind in kinds
+        for index, fraction in enumerate(keep_fractions)
+    ]
+    scores = parallel_map(imbalance_cell, items, max_workers=max_workers, shared=split)
     results: dict[int, dict[str, np.ndarray]] = {}
+    cursor = 0
     for total_dim in total_dims:
-        online_scores, boost_scores = [], []
-        for index, fraction in enumerate(keep_fractions):
-            X_imbalanced, y_imbalanced = make_imbalanced(
-                X_train, y_train, target_class, float(fraction), rng=seed + index
-            )
-            online = OnlineHD(dim=int(total_dim), epochs=epochs, seed=seed + index)
-            online.fit(X_imbalanced, y_imbalanced)
-            online_scores.append(macro_accuracy(y_test, online.predict(X_test)))
-
-            boost = BoostHD(
-                total_dim=int(total_dim),
-                n_learners=n_learners,
-                epochs=epochs,
-                seed=seed + index,
-            )
-            boost.fit(X_imbalanced, y_imbalanced)
-            boost_scores.append(macro_accuracy(y_test, boost.predict(X_test)))
-        results[int(total_dim)] = {
-            "keep_fractions": np.asarray(keep_fractions, dtype=float),
-            "OnlineHD": np.asarray(online_scores),
-            "BoostHD": np.asarray(boost_scores),
+        panel: dict[str, np.ndarray] = {
+            "keep_fractions": np.asarray(keep_fractions, dtype=float)
         }
+        for kind in kinds:
+            panel[kind] = np.asarray(scores[cursor : cursor + len(keep_fractions)])
+            cursor += len(keep_fractions)
+        results[int(total_dim)] = panel
 
     sections = []
     for total_dim, series in results.items():
@@ -329,26 +347,25 @@ def figure8_robustness(
     test_fraction: float = 0.3,
     seed: int = 0,
     scale: ExperimentScale | None = None,
+    max_workers: int | str | None = None,
 ) -> tuple[dict[str, BitflipSweepResult], str]:
-    """Figure 8: accuracy under bit-flip noise for DNN, OnlineHD and BoostHD."""
+    """Figure 8: accuracy under bit-flip noise for DNN, OnlineHD and BoostHD.
+
+    Each model's full sweep is one independent cell (training plus all trial
+    batches share the model instance), so ``max_workers`` parallelises over
+    models with results identical to the serial path.
+    """
     scale = scale or get_scale()
     n_trials = n_trials or scale.bitflip_trials
-    X_train, X_test, y_train, y_test = dataset.split(test_fraction=test_fraction, rng=seed)
+    split = dataset.split(test_fraction=test_fraction, rng=seed)
 
-    results: dict[str, BitflipSweepResult] = {}
-    for model_name in model_names:
-        model = build_model(model_name, seed, scale)
-        model.fit(X_train, y_train)
-        results[model_name] = bitflip_sweep(
-            model,
-            X_test,
-            y_test,
-            probabilities,
-            n_trials=n_trials,
-            mode=mode,
-            model_name=model_name,
-            rng=seed,
-        )
+    sweeps = parallel_map(
+        bitflip_cell,
+        tuple(model_names),
+        max_workers=max_workers,
+        shared=(split, tuple(probabilities), n_trials, mode, seed, scale),
+    )
+    results: dict[str, BitflipSweepResult] = dict(zip(model_names, sweeps))
     text = format_series(
         [f"{probability:.0e}" for probability in probabilities],
         {name: sweep.means for name, sweep in results.items()},

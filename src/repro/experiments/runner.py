@@ -3,11 +3,21 @@
 Tables I and II need, per (dataset, model) cell, the mean ± std accuracy over
 independent runs and the per-query inference time.  The runner produces both
 in one pass so the two tables stay consistent.
+
+Since the :mod:`repro.runtime` refactor the suite executes through a
+:class:`~repro.runtime.plan.GridPlan` of independent (dataset × model × run)
+cells: ``run_suite`` can fan the grid out over a process pool
+(``max_workers``), checkpoint completed cells into an
+:class:`~repro.runtime.store.ArtifactStore` (``store``) so interrupted
+suites resume without recomputation, and report per-cell wall time and
+worker utilization on ``SuiteResult.report``.  Results are bit-identical
+across worker counts because every cell's seed is derived from its grid
+coordinates alone (:mod:`repro.runtime.seeding`).
 """
 
 from __future__ import annotations
 
-import time
+import os
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -16,10 +26,32 @@ import numpy as np
 from ..baselines.base import BaseClassifier
 from ..baselines.metrics import accuracy
 from ..data.loaders import TabularDataset
+from ..runtime.cells import CellResult, single_run
+from ..runtime.executor import LoaderSource, ParallelExecutor, SplitSource
+from ..runtime.plan import GridPlan
+from ..runtime.report import RunReport
+from ..runtime.seeding import dataset_seeds
+from ..runtime.store import ArtifactStore
 from .config import ExperimentScale, get_scale
 from .registry import MODEL_NAMES, build_model
 
-__all__ = ["ModelRunResult", "SuiteResult", "run_model", "run_suite", "load_datasets"]
+__all__ = [
+    "DATASET_NAMES",
+    "ModelRunResult",
+    "SuiteResult",
+    "run_model",
+    "run_suite",
+    "load_dataset",
+    "load_datasets",
+]
+
+#: The three synthetic datasets of Tables I–III, in the paper's row order.
+#: The position doubles as the dataset's legacy generation seed (0, 1, 2).
+DATASET_NAMES: tuple[str, ...] = (
+    "WESAD",
+    "Nurse Stress Dataset",
+    "Stress-Predict Dataset",
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +79,7 @@ class ModelRunResult:
     engine_inference_seconds_per_query: np.ndarray | None = None
     engine_warm_seconds_per_query: np.ndarray | None = None
     engine_cache_hit_ratio: float | None = None
+    seeds: tuple[int, ...] | None = None
 
     @property
     def mean_accuracy(self) -> float:
@@ -88,9 +121,16 @@ class ModelRunResult:
 
 @dataclass(frozen=True)
 class SuiteResult:
-    """Results of all models on all datasets: ``results[dataset][model]``."""
+    """Results of all models on all datasets: ``results[dataset][model]``.
+
+    ``report`` carries the :class:`~repro.runtime.report.RunReport` of the
+    grid execution (per-cell wall time, worker utilization, cache replays)
+    when the suite ran through :func:`run_suite`; hand-built results leave
+    it ``None``.
+    """
 
     results: Mapping[str, Mapping[str, ModelRunResult]]
+    report: RunReport | None = None
 
     def datasets(self) -> list[str]:
         return list(self.results.keys())
@@ -118,8 +158,18 @@ def run_model(
     metric: Callable[[np.ndarray, np.ndarray], float] = accuracy,
     engine: bool = True,
     engine_cache_size: int = 8,
+    seeds: Sequence[int] | None = None,
 ) -> ModelRunResult:
     """Train/evaluate ``n_runs`` instances of one model, timing each phase.
+
+    This is the serial, bring-your-own-builder entry point (``build`` may be
+    any callable, including a closure, so it never crosses a process
+    boundary); grid-scale parallel execution goes through :func:`run_suite`.
+    Both share the measurement core (:func:`repro.runtime.cells.single_run`),
+    so they report identical quantities.
+
+    ``seeds`` overrides the seed passed to ``build`` for each run (default:
+    the run index, the legacy behaviour).
 
     With ``engine=True`` (default), models exposing a ``compile()`` hook are
     additionally compiled into the fused batch engine after fitting, and the
@@ -135,50 +185,50 @@ def run_model(
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    accuracies, train_times, query_times = [], [], []
-    engine_times, warm_times = [], []
-    cache_hits = cache_requests = 0
-    for run in range(n_runs):
-        model = build(run)
-        start = time.perf_counter()
-        model.fit(X_train, y_train)
-        train_times.append(time.perf_counter() - start)
+    if seeds is None:
+        seeds = tuple(range(n_runs))
+    elif len(seeds) != n_runs:
+        raise ValueError(f"need {n_runs} seeds, got {len(seeds)}")
+    samples = [
+        single_run(
+            build(seed),
+            (X_train, X_test, y_train, y_test),
+            metric=metric,
+            engine=engine,
+            engine_cache_size=engine_cache_size,
+        )
+        for seed in seeds
+    ]
+    return _aggregate_samples(model_name, dataset_name, samples, tuple(seeds))
 
-        start = time.perf_counter()
-        predictions = model.predict(X_test)
-        elapsed = time.perf_counter() - start
-        query_times.append(elapsed / max(len(X_test), 1))
-        accuracies.append(metric(y_test, predictions))
 
-        if engine and hasattr(model, "compile"):
-            from ..engine import EngineError
-
-            try:
-                compiled = model.compile(cache_size=engine_cache_size)
-            except EngineError:
-                engine = False
-                continue
-            start = time.perf_counter()
-            compiled.predict(X_test)
-            elapsed = time.perf_counter() - start
-            engine_times.append(elapsed / max(len(X_test), 1))
-            if compiled.cache is not None:
-                # Hit ratio of the *warm* pass alone: the cold pass above is
-                # all misses by construction and would dilute the ratio.
-                cold_hits = compiled.cache.stats.hits
-                cold_requests = compiled.cache.stats.requests
-                start = time.perf_counter()
-                compiled.predict(X_test)
-                elapsed = time.perf_counter() - start
-                warm_times.append(elapsed / max(len(X_test), 1))
-                cache_hits += compiled.cache.stats.hits - cold_hits
-                cache_requests += compiled.cache.stats.requests - cold_requests
+def _aggregate_samples(
+    model_name: str,
+    dataset_name: str,
+    samples: Sequence,
+    seeds: tuple[int, ...],
+) -> ModelRunResult:
+    """Fold per-run measurements into one :class:`ModelRunResult`."""
+    engine_times = [
+        s.engine_seconds_per_query
+        for s in samples
+        if s.engine_seconds_per_query is not None
+    ]
+    warm_times = [
+        s.engine_warm_seconds_per_query
+        for s in samples
+        if s.engine_warm_seconds_per_query is not None
+    ]
+    cache_hits = sum(s.cache_hits for s in samples)
+    cache_requests = sum(s.cache_requests for s in samples)
     return ModelRunResult(
         model_name=model_name,
         dataset_name=dataset_name,
-        accuracies=np.asarray(accuracies),
-        train_seconds=np.asarray(train_times),
-        inference_seconds_per_query=np.asarray(query_times),
+        accuracies=np.asarray([s.accuracy for s in samples]),
+        train_seconds=np.asarray([s.train_seconds for s in samples]),
+        inference_seconds_per_query=np.asarray(
+            [s.inference_seconds_per_query for s in samples]
+        ),
         engine_inference_seconds_per_query=(
             np.asarray(engine_times) if engine_times else None
         ),
@@ -186,32 +236,74 @@ def run_model(
         engine_cache_hit_ratio=(
             cache_hits / cache_requests if cache_requests else None
         ),
+        seeds=seeds,
     )
 
 
-def load_datasets(scale: ExperimentScale | None = None) -> dict[str, TabularDataset]:
-    """Generate the three synthetic datasets at the active scale."""
-    from ..data.nurse_stress import load_nurse_stress
-    from ..data.stress_predict import load_stress_predict
-    from ..data.wesad import load_wesad
+_DATASET_BUILDERS: Mapping[str, Callable[[ExperimentScale, int], TabularDataset]] = {}
 
+
+def _builders() -> Mapping[str, Callable[[ExperimentScale, int], TabularDataset]]:
+    global _DATASET_BUILDERS
+    if not _DATASET_BUILDERS:
+        from ..data.nurse_stress import load_nurse_stress
+        from ..data.stress_predict import load_stress_predict
+        from ..data.wesad import load_wesad
+
+        _DATASET_BUILDERS = {
+            "WESAD": lambda scale, seed: load_wesad(
+                n_subjects=scale.wesad_subjects,
+                windows_per_state=scale.windows_per_state,
+                seed=seed,
+            ),
+            "Nurse Stress Dataset": lambda scale, seed: load_nurse_stress(
+                n_subjects=scale.nurse_subjects,
+                windows_per_state=max(6, scale.windows_per_state // 2),
+                seed=seed,
+            ),
+            "Stress-Predict Dataset": lambda scale, seed: load_stress_predict(
+                n_subjects=scale.stress_predict_subjects,
+                windows_per_state=scale.windows_per_state,
+                seed=seed,
+            ),
+        }
+    return _DATASET_BUILDERS
+
+
+def load_dataset(
+    name: str, scale: ExperimentScale | None = None, *, seed: int | None = None
+) -> TabularDataset:
+    """Generate one of the three synthetic datasets at the active scale.
+
+    ``seed=None`` uses the dataset's legacy generation seed (its position in
+    :data:`DATASET_NAMES`: 0, 1, 2), so default datasets are unchanged.
+    """
     scale = scale or get_scale()
+    builders = _builders()
+    if name not in builders:
+        raise KeyError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    if seed is None:
+        seed = DATASET_NAMES.index(name)
+    return builders[name](scale, int(seed))
+
+
+def load_datasets(
+    scale: ExperimentScale | None = None,
+    *,
+    seed: int | None = None,
+    names: Sequence[str] = DATASET_NAMES,
+) -> dict[str, TabularDataset]:
+    """Generate the synthetic datasets at the active scale.
+
+    ``seed`` routes through the runtime's deterministic derivation
+    (:func:`repro.runtime.seeding.dataset_seeds`): ``None`` keeps the legacy
+    per-dataset seeds 0/1/2, an integer derives an independent generation
+    seed per dataset from that root.
+    """
+    scale = scale or get_scale()
+    seeds = dataset_seeds(names, DATASET_NAMES, seed)
     return {
-        "WESAD": load_wesad(
-            n_subjects=scale.wesad_subjects,
-            windows_per_state=scale.windows_per_state,
-            seed=0,
-        ),
-        "Nurse Stress Dataset": load_nurse_stress(
-            n_subjects=scale.nurse_subjects,
-            windows_per_state=max(6, scale.windows_per_state // 2),
-            seed=1,
-        ),
-        "Stress-Predict Dataset": load_stress_predict(
-            n_subjects=scale.stress_predict_subjects,
-            windows_per_state=scale.windows_per_state,
-            seed=2,
-        ),
+        name: load_dataset(name, scale, seed=seeds[name]) for name in names
     }
 
 
@@ -223,27 +315,82 @@ def run_suite(
     n_runs: int | None = None,
     test_fraction: float = 0.3,
     split_seed: int = 7,
+    seed: int | None = None,
+    max_workers: int | str | None = None,
+    store: ArtifactStore | str | os.PathLike | None = None,
+    engine: bool = True,
+    engine_cache_size: int = 8,
 ) -> SuiteResult:
-    """Run every requested model on every dataset with subject-wise splits."""
-    scale = scale or get_scale()
-    datasets = datasets or load_datasets(scale)
-    n_runs = n_runs or scale.n_runs
+    """Run every requested model on every dataset with subject-wise splits.
 
-    results: dict[str, dict[str, ModelRunResult]] = {}
-    for dataset_name, dataset in datasets.items():
-        X_train, X_test, y_train, y_test = dataset.split(
-            test_fraction=test_fraction, rng=split_seed
+    The grid executes through :mod:`repro.runtime`:
+
+    * ``seed`` — root seed of the deterministic per-cell derivation.  ``None``
+      (default) keeps the legacy seeds (datasets 0/1/2, model runs seeded by
+      run index), so default results are unchanged.
+    * ``max_workers`` — process-pool size; ``None`` consults the
+      ``REPRO_MAX_WORKERS`` environment variable and falls back to serial;
+      ``"auto"`` uses all available CPUs.  Accuracies are bit-identical for
+      every worker count.
+    * ``store`` — an :class:`~repro.runtime.store.ArtifactStore` (or a
+      directory path) checkpointing each completed cell; rerunning with the
+      same configuration replays finished cells instead of recomputing them.
+
+    When ``datasets`` is omitted the workers load their datasets locally
+    from seeds (no arrays are shipped); explicit dataset mappings are split
+    once in the parent and shipped to each worker a single time.
+    """
+    scale = scale or get_scale()
+    n_runs = n_runs or scale.n_runs
+    if isinstance(store, (str, os.PathLike)) and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+
+    if datasets is None:
+        dataset_names = DATASET_NAMES
+        source: SplitSource | LoaderSource = LoaderSource(
+            names=DATASET_NAMES,
+            scale=scale,
+            seed=seed,
+            test_fraction=test_fraction,
+            split_seed=split_seed,
         )
+    else:
+        dataset_names = tuple(datasets)
+        source = SplitSource(
+            splits={
+                name: dataset.split(test_fraction=test_fraction, rng=split_seed)
+                for name, dataset in datasets.items()
+            }
+        )
+
+    plan = GridPlan.for_suite(
+        dataset_names,
+        tuple(model_names),
+        n_runs,
+        scale=scale,
+        seed=seed,
+        test_fraction=test_fraction,
+        split_seed=split_seed,
+    )
+    executor = ParallelExecutor(max_workers=max_workers)
+    cell_results, report = executor.run(
+        plan, source, store=store, engine=engine, engine_cache_size=engine_cache_size
+    )
+
+    by_pair: dict[tuple[str, str], list[CellResult]] = {}
+    for result in cell_results:
+        by_pair.setdefault((result.dataset, result.model), []).append(result)
+    results: dict[str, dict[str, ModelRunResult]] = {}
+    for dataset_name in plan.dataset_names:
         results[dataset_name] = {}
-        for model_name in model_names:
-            results[dataset_name][model_name] = run_model(
-                lambda seed, name=model_name: build_model(name, seed, scale),
-                X_train,
-                y_train,
-                X_test,
-                y_test,
-                n_runs=n_runs,
-                model_name=model_name,
-                dataset_name=dataset_name,
+        for model_name in plan.model_names:
+            runs = sorted(
+                by_pair[(dataset_name, model_name)], key=lambda r: r.run_index
             )
-    return SuiteResult(results=results)
+            results[dataset_name][model_name] = _aggregate_samples(
+                model_name,
+                dataset_name,
+                runs,
+                tuple(run.seed for run in runs),
+            )
+    return SuiteResult(results=results, report=report)

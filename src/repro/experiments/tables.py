@@ -11,10 +11,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..analysis.fairness import PAPER_GROUPS, group_accuracy_table
+from ..analysis.fairness import PAPER_GROUPS
 from ..data.loaders import TabularDataset
+from ..runtime.cells import table3_cell
+from ..runtime.executor import parallel_map
 from .config import ExperimentScale, get_scale
-from .registry import MODEL_NAMES, model_builders
+from .registry import MODEL_NAMES
 from .reporting import format_mean_std, format_table
 from .runner import SuiteResult
 
@@ -102,14 +104,24 @@ def table3_person_specific(
     model_names: Sequence[str] = MODEL_NAMES,
     scale: ExperimentScale | None = None,
     seed: int = 0,
+    test_fraction: float = 0.3,
+    max_workers: int | str | None = None,
 ) -> tuple[dict[str, dict[str, float]], str]:
     """Table III: per-demographic-group accuracy (%) on the WESAD-like dataset.
 
     Returns ``({model: {group: accuracy, "AVERAGE": mean}}, formatted_text)``.
+    Each model's per-group evaluation is an independent cell, so the rows can
+    be computed on a worker pool (``max_workers``) with results identical to
+    the serial path.
     """
     scale = scale or get_scale()
-    builders = model_builders(tuple(model_names), scale)
-    table = group_accuracy_table(builders, dataset, seed=seed)
+    rows_by_model = parallel_map(
+        table3_cell,
+        tuple(model_names),
+        max_workers=max_workers,
+        shared=(dataset, test_fraction, seed, scale),
+    )
+    table = dict(rows_by_model)
 
     group_columns = [group for group in PAPER_GROUPS if any(group in row for row in table.values())]
     columns = ["Model", *group_columns, "AVERAGE"]

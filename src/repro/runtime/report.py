@@ -1,0 +1,150 @@
+"""Run reporting: per-cell wall time and worker-utilization statistics.
+
+Every executed grid produces a :class:`RunReport` so suite-scale runs can be
+profiled without rerunning them: which cells dominated wall time, how much of
+the worker pool was actually busy, and how many cells were replayed from the
+artifact store instead of recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from .cells import CellResult
+
+__all__ = ["CellStats", "RunReport"]
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Execution record of one grid cell."""
+
+    dataset: str
+    model: str
+    run_index: int
+    wall_seconds: float
+    worker: int
+    cached: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.dataset}/{self.model}#{self.run_index}"
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Wall-clock and utilization summary of one executed grid."""
+
+    total_seconds: float
+    max_workers: int
+    cells: tuple[CellStats, ...]
+
+    @classmethod
+    def from_results(
+        cls,
+        results: Iterable["CellResult"],
+        *,
+        total_seconds: float,
+        max_workers: int,
+    ) -> "RunReport":
+        cells = tuple(
+            CellStats(
+                dataset=result.dataset,
+                model=result.model,
+                run_index=result.run_index,
+                wall_seconds=result.wall_seconds,
+                worker=result.worker,
+                cached=result.cached,
+            )
+            for result in results
+        )
+        return cls(
+            total_seconds=float(total_seconds),
+            max_workers=max(1, int(max_workers)),
+            cells=cells,
+        )
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def n_computed(self) -> int:
+        return self.n_cells - self.n_cached
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total wall time spent inside freshly computed cells."""
+        return float(sum(cell.wall_seconds for cell in self.cells if not cell.cached))
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-seconds divided by available worker-seconds (0..1+).
+
+        Values near 1 mean the pool was saturated; values well below 1 mean
+        workers sat idle (stragglers, too-coarse chunks, or store replays).
+        Serial runs report their compute density (busy / elapsed).
+        """
+        available = self.total_seconds * self.max_workers
+        if available <= 0:
+            return 0.0
+        return self.busy_seconds / available
+
+    @property
+    def n_workers_used(self) -> int:
+        return len({cell.worker for cell in self.cells if not cell.cached})
+
+    def slowest(self, n: int = 5) -> tuple[CellStats, ...]:
+        """The ``n`` computed cells with the largest wall time."""
+        computed = [cell for cell in self.cells if not cell.cached]
+        computed.sort(key=lambda cell: cell.wall_seconds, reverse=True)
+        return tuple(computed[: max(0, int(n))])
+
+    def per_worker_seconds(self) -> dict[int, float]:
+        """Busy seconds attributed to each worker process id."""
+        totals: dict[int, float] = {}
+        for cell in self.cells:
+            if cell.cached:
+                continue
+            totals[cell.worker] = totals.get(cell.worker, 0.0) + cell.wall_seconds
+        return totals
+
+    # -------------------------------------------------------------- rendering
+    def summary(self, *, slowest: int = 3) -> str:
+        """Human-readable multi-line summary of the run."""
+        lines = [
+            (
+                f"runtime: {self.n_cells} cells "
+                f"({self.n_computed} computed, {self.n_cached} cached) "
+                f"in {self.total_seconds:.2f}s on {self.max_workers} worker(s)"
+            ),
+            (
+                f"  busy {self.busy_seconds:.2f}s, "
+                f"utilization {self.utilization:.0%}, "
+                f"{self.n_workers_used} worker(s) used"
+            ),
+        ]
+        for cell in self.slowest(slowest):
+            lines.append(f"  slowest: {cell.label} {cell.wall_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[RunReport]) -> RunReport:
+    """Combine sequential reports (e.g. an interrupted run plus its resume)."""
+    if not reports:
+        return RunReport(total_seconds=0.0, max_workers=1, cells=())
+    return RunReport(
+        total_seconds=float(sum(report.total_seconds for report in reports)),
+        max_workers=max(report.max_workers for report in reports),
+        cells=tuple(cell for report in reports for cell in report.cells),
+    )
+
+
+__all__.append("merge_reports")

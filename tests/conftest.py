@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import load_wesad
+from repro.data import load_nurse_stress, load_wesad
+from repro.experiments import ExperimentScale
 
 
 def make_blobs(
@@ -58,3 +59,45 @@ def mini_wesad():
 def mini_wesad_split(mini_wesad):
     """Subject-wise split of the miniature WESAD-like dataset."""
     return mini_wesad.split(test_fraction=0.3, rng=0)
+
+
+@pytest.fixture(scope="session")
+def mini_nurse():
+    """A miniature Nurse-Stress-like dataset (4 subjects, 4 windows per state)."""
+    return load_nurse_stress(n_subjects=4, windows_per_state=4, window_seconds=8.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def suite_datasets(mini_wesad, mini_nurse):
+    """Two-dataset mapping shared by runtime/suite-level tests.
+
+    Generated once per session: suite tests should reuse this instead of
+    regenerating their own datasets, which is what keeps tier-1 wall time
+    flat as the runtime test matrix grows.
+    """
+    return {"WESAD": mini_wesad, "Nurse Stress Dataset": mini_nurse}
+
+
+#: Tiny experiment scale for suite-level tests: every code path identical to
+#: the quick scale, all sizes shrunk to milliseconds.
+TINY_SCALE = ExperimentScale(
+    name="tiny",
+    total_dim=120,
+    n_learners=4,
+    n_runs=2,
+    hd_epochs=2,
+    dnn_hidden=(16,),
+    dnn_epochs=5,
+    wesad_subjects=4,
+    nurse_subjects=4,
+    stress_predict_subjects=4,
+    windows_per_state=4,
+    bitflip_trials=2,
+    sweep_runs=2,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> ExperimentScale:
+    """Millisecond-sized scale for suite-level and runtime tests."""
+    return TINY_SCALE

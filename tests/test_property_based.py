@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for core invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -18,6 +19,7 @@ finite_floats = st.floats(
 )
 
 
+@pytest.mark.slow
 @settings(max_examples=50, deadline=None)
 @given(arrays(np.float64, st.integers(2, 64), elements=finite_floats))
 def test_cosine_similarity_bounded(vector):
@@ -85,6 +87,7 @@ def test_accuracy_of_identical_arrays_is_one(labels):
     assert macro_accuracy(labels, labels.copy()) == 1.0
 
 
+@pytest.mark.slow
 @settings(max_examples=50, deadline=None)
 @given(
     arrays(np.int64, st.integers(2, 200), elements=st.integers(0, 3)),

@@ -1,0 +1,584 @@
+"""Tests for the parallel, resumable experiment runtime (:mod:`repro.runtime`).
+
+The load-bearing guarantees:
+
+* **Equivalence** — ``run_suite`` produces bit-identical accuracies and seeds
+  at 1, 2 and 4 workers, with legacy and derived seed roots, and with both
+  data sources (shipped splits and per-worker dataset loading).
+* **Resume** — an interrupted suite checkpoints every completed cell into the
+  :class:`~repro.runtime.store.ArtifactStore` and a rerun replays them
+  without recomputation, landing on the same numbers.
+* **Store integrity** — artifacts round-trip bit-exactly; corruption, layout
+  changes and key collisions all read as cache misses, never as wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import run_suite
+from repro.runtime import (
+    ArtifactStore,
+    CellResult,
+    CellTask,
+    GridPlan,
+    LoaderSource,
+    ParallelExecutor,
+    RunReport,
+    SplitSource,
+    canonical_spec,
+    cell_seed,
+    dataset_seeds,
+    derive_seed,
+    merge_reports,
+    parallel_map,
+    resolve_max_workers,
+    spec_key,
+)
+from repro.runtime.report import CellStats
+
+pytestmark = pytest.mark.runtime
+
+SUITE_MODELS = ("OnlineHD", "BoostHD")
+
+
+def suite_accuracies(suite):
+    return {
+        (dataset, model): suite.results[dataset][model].accuracies
+        for dataset in suite.datasets()
+        for model in suite.models()
+    }
+
+
+def suite_seeds(suite):
+    return {
+        (dataset, model): suite.results[dataset][model].seeds
+        for dataset in suite.datasets()
+        for model in suite.models()
+    }
+
+
+def assert_suites_identical(first, second):
+    assert first.datasets() == second.datasets()
+    assert first.models() == second.models()
+    first_acc, second_acc = suite_accuracies(first), suite_accuracies(second)
+    for key in first_acc:
+        assert np.array_equal(first_acc[key], second_acc[key]), key
+    assert suite_seeds(first) == suite_seeds(second)
+
+
+# ---------------------------------------------------------------------------
+# Seeding
+# ---------------------------------------------------------------------------
+
+
+class TestSeeding:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(0, 1, 2, 3) == derive_seed(0, 1, 2, 3)
+
+    def test_derive_seed_depends_on_every_coordinate(self):
+        base = derive_seed(7, 1, 2, 3)
+        assert derive_seed(8, 1, 2, 3) != base
+        assert derive_seed(7, 0, 2, 3) != base
+        assert derive_seed(7, 1, 0, 3) != base
+        assert derive_seed(7, 1, 2, 0) != base
+
+    def test_derive_seed_fits_in_int64(self):
+        for path in [(0,), (1, 2), (3, 4, 5)]:
+            seed = derive_seed(123, *path)
+            assert 0 <= seed < 2**63
+
+    def test_legacy_cell_seed_is_run_index(self):
+        assert cell_seed(None, "WESAD", "BoostHD", 4) == 4
+
+    def test_derived_cell_seeds_distinct_across_grid(self):
+        datasets = ("WESAD", "Nurse Stress Dataset", "Stress-Predict Dataset")
+        models = ("AdaBoost", "RF", "XGBoost", "SVM", "DNN", "OnlineHD", "BoostHD")
+        seeds = {
+            cell_seed(11, d, m, r) for d in datasets for m in models for r in range(5)
+        }
+        assert len(seeds) == 3 * 7 * 5
+
+    def test_cell_seed_is_subset_invariant(self, tiny_scale):
+        """A cell draws the same seed however the suite around it is shaped."""
+        full = GridPlan.for_suite(("A", "B"), ("m1", "m2"), 2, scale=tiny_scale, seed=9)
+        only_b = GridPlan.for_suite(("B",), ("m2", "m1"), 2, scale=tiny_scale, seed=9)
+        full_seeds = {
+            (c.dataset, c.model, c.run_index): c.seed for c in full
+        }
+        for cell in only_b:
+            assert cell.seed == full_seeds[(cell.dataset, cell.model, cell.run_index)]
+
+    def test_legacy_dataset_seeds_are_canonical_positions(self):
+        canonical = ("WESAD", "Nurse Stress Dataset", "Stress-Predict Dataset")
+        seeds = dataset_seeds(canonical, canonical, None)
+        assert seeds == {canonical[0]: 0, canonical[1]: 1, canonical[2]: 2}
+        # A subset keeps its canonical position, not its enumeration index.
+        assert dataset_seeds(canonical[2:], canonical, None) == {canonical[2]: 2}
+
+    def test_derived_dataset_seeds_differ_per_dataset(self):
+        canonical = ("A", "B", "C")
+        seeds = dataset_seeds(canonical, canonical, 3)
+        assert len(set(seeds.values())) == 3
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_seeds(["nope"], ("A", "B"), 0)
+
+
+# ---------------------------------------------------------------------------
+# GridPlan
+# ---------------------------------------------------------------------------
+
+
+class TestGridPlan:
+    def test_expands_full_grid_in_order(self, tiny_scale):
+        plan = GridPlan.for_suite(("A", "B"), ("m1", "m2"), 3, scale=tiny_scale)
+        assert len(plan) == 2 * 2 * 3
+        first = plan.cells[0]
+        assert (first.dataset, first.model, first.run_index) == ("A", "m1", 0)
+        # datasets vary slowest, runs fastest
+        assert [c.run_index for c in plan.cells[:3]] == [0, 1, 2]
+        assert plan.cells[6].dataset == "B"
+
+    def test_seeds_match_derivation(self, tiny_scale):
+        plan = GridPlan.for_suite(("A",), ("m1", "m2"), 2, scale=tiny_scale, seed=9)
+        for cell in plan:
+            assert cell.seed == cell_seed(9, cell.dataset, cell.model, cell.run_index)
+
+    def test_subset_and_head_preserve_seeds(self, tiny_scale):
+        plan = GridPlan.for_suite(("A", "B"), ("m1",), 2, scale=tiny_scale, seed=4)
+        subset = plan.subset(lambda cell: cell.dataset == "B")
+        assert all(cell.dataset == "B" for cell in subset)
+        full_seeds = {(c.dataset, c.run_index): c.seed for c in plan}
+        for cell in subset:
+            assert cell.seed == full_seeds[(cell.dataset, cell.run_index)]
+        assert plan.head(3).cells == plan.cells[:3]
+
+    def test_invalid_plans_raise(self, tiny_scale):
+        with pytest.raises(ValueError):
+            GridPlan.for_suite(("A",), ("m",), 0, scale=tiny_scale)
+        with pytest.raises(ValueError):
+            GridPlan.for_suite((), ("m",), 1, scale=tiny_scale)
+        with pytest.raises(ValueError):
+            GridPlan.for_suite(("A",), (), 1, scale=tiny_scale)
+
+    def test_cells_for_pair(self, tiny_scale):
+        plan = GridPlan.for_suite(("A", "B"), ("m1", "m2"), 2, scale=tiny_scale)
+        cells = plan.cells_for("B", "m2")
+        assert [c.run_index for c in cells] == [0, 1]
+        assert all(c.dataset == "B" and c.model == "m2" for c in cells)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: serial vs parallel, legacy and derived seeds, both sources
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_suite(self, suite_datasets, tiny_scale):
+        return run_suite(
+            suite_datasets, SUITE_MODELS, scale=tiny_scale, n_runs=3, max_workers=1
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_does_not_change_results(
+        self, suite_datasets, tiny_scale, serial_suite, workers
+    ):
+        parallel = run_suite(
+            suite_datasets,
+            SUITE_MODELS,
+            scale=tiny_scale,
+            n_runs=3,
+            max_workers=workers,
+        )
+        assert_suites_identical(serial_suite, parallel)
+        assert parallel.report.n_cells == len(suite_datasets) * len(SUITE_MODELS) * 3
+
+    def test_legacy_seeds_match_run_indices(self, serial_suite):
+        for seeds in suite_seeds(serial_suite).values():
+            assert seeds == (0, 1, 2)
+
+    def test_derived_root_seed_equivalence(self, suite_datasets, tiny_scale):
+        serial = run_suite(
+            suite_datasets, SUITE_MODELS, scale=tiny_scale, n_runs=2, seed=123
+        )
+        parallel = run_suite(
+            suite_datasets,
+            SUITE_MODELS,
+            scale=tiny_scale,
+            n_runs=2,
+            seed=123,
+            max_workers=2,
+        )
+        assert_suites_identical(serial, parallel)
+        # Derived seeds are not the run indices and are distinct per cell.
+        all_seeds = [s for seeds in suite_seeds(serial).values() for s in seeds]
+        assert len(set(all_seeds)) == len(all_seeds)
+
+    def test_different_roots_give_different_seeds(self, suite_datasets, tiny_scale):
+        first = run_suite(suite_datasets, ("OnlineHD",), scale=tiny_scale, n_runs=2, seed=1)
+        second = run_suite(suite_datasets, ("OnlineHD",), scale=tiny_scale, n_runs=2, seed=2)
+        assert suite_seeds(first) != suite_seeds(second)
+
+    @pytest.mark.slow
+    def test_loader_source_equivalence(self, tiny_scale):
+        """datasets=None: workers regenerate datasets locally from seeds."""
+        serial = run_suite(None, SUITE_MODELS, scale=tiny_scale, n_runs=2, seed=7)
+        parallel = run_suite(
+            None, SUITE_MODELS, scale=tiny_scale, n_runs=2, seed=7, max_workers=2
+        )
+        assert_suites_identical(serial, parallel)
+
+    def test_report_reflects_workers(self, suite_datasets, tiny_scale):
+        suite = run_suite(
+            suite_datasets, ("OnlineHD",), scale=tiny_scale, n_runs=4, max_workers=2
+        )
+        assert suite.report.max_workers == 2
+        assert suite.report.n_computed == suite.report.n_cells
+        assert suite.report.busy_seconds > 0
+        assert 0 < suite.report.utilization
+        assert suite.report.n_workers_used <= 2
+
+
+# ---------------------------------------------------------------------------
+# Resume after interrupt
+# ---------------------------------------------------------------------------
+
+
+class _Bomb(RuntimeError):
+    pass
+
+
+class TestResume:
+    def test_serial_interrupt_then_resume(
+        self, suite_datasets, tiny_scale, tmp_path, monkeypatch
+    ):
+        """A crash mid-suite loses only the in-flight cell; resume replays the rest."""
+        import repro.runtime.cells as cells_module
+
+        baseline = run_suite(suite_datasets, SUITE_MODELS, scale=tiny_scale, n_runs=2)
+        total = baseline.report.n_cells
+
+        real_execute = cells_module.execute_cell
+        calls = {"n": 0}
+
+        def dying_execute(*args, **kwargs):
+            if calls["n"] >= 3:
+                raise _Bomb("simulated crash")
+            calls["n"] += 1
+            return real_execute(*args, **kwargs)
+
+        # max_workers=1 keeps the monkeypatched crash in-process: a pool
+        # worker would fork its own copy of the call counter.
+        monkeypatch.setattr(cells_module, "execute_cell", dying_execute)
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(_Bomb):
+            run_suite(
+                suite_datasets,
+                SUITE_MODELS,
+                scale=tiny_scale,
+                n_runs=2,
+                store=store,
+                max_workers=1,
+            )
+        monkeypatch.setattr(cells_module, "execute_cell", real_execute)
+        assert len(store) == 3  # every completed cell was checkpointed
+
+        resumed = run_suite(
+            suite_datasets, SUITE_MODELS, scale=tiny_scale, n_runs=2, store=store
+        )
+        assert resumed.report.n_cached == 3
+        assert resumed.report.n_computed == total - 3
+        assert_suites_identical(baseline, resumed)
+
+    def test_parallel_resume_skips_completed_cells(
+        self, suite_datasets, tiny_scale, tmp_path
+    ):
+        """Cells computed by an earlier partial run are not recomputed."""
+        store = ArtifactStore(tmp_path)
+        plan = GridPlan.for_suite(
+            tuple(suite_datasets), SUITE_MODELS, 2, scale=tiny_scale
+        )
+        splits = SplitSource(
+            splits={
+                name: dataset.split(test_fraction=0.3, rng=7)
+                for name, dataset in suite_datasets.items()
+            }
+        )
+        partial_plan = plan.head(5)
+        ParallelExecutor(max_workers=1).run(partial_plan, splits, store=store)
+        assert len(store) == 5
+
+        results, report = ParallelExecutor(max_workers=2).run(plan, splits, store=store)
+        assert report.n_cached == 5
+        assert report.n_computed == len(plan) - 5
+        assert [r.cached for r in results[:5]] == [True] * 5
+
+    def test_store_hits_require_identical_spec(
+        self, suite_datasets, tiny_scale, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        run_suite(suite_datasets, ("OnlineHD",), scale=tiny_scale, n_runs=2, store=store)
+        # Different root seed => different cells => no replays.
+        other = run_suite(
+            suite_datasets, ("OnlineHD",), scale=tiny_scale, n_runs=2, seed=5, store=store
+        )
+        assert other.report.n_cached == 0
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore round-trip and integrity
+# ---------------------------------------------------------------------------
+
+
+def make_result(**overrides) -> CellResult:
+    defaults = dict(
+        dataset="WESAD",
+        model="BoostHD",
+        run_index=1,
+        seed=42,
+        accuracy=0.875,
+        train_seconds=0.25,
+        inference_seconds_per_query=1.5e-5,
+        engine_seconds_per_query=0.5e-5,
+        engine_warm_seconds_per_query=0.25e-5,
+        cache_hits=10,
+        cache_requests=12,
+        wall_seconds=0.3,
+        worker=1234,
+    )
+    defaults.update(overrides)
+    return CellResult(**defaults)
+
+
+SPEC = {"version": 1, "dataset": "WESAD", "model": "BoostHD", "run_index": 1, "seed": 42}
+
+
+class TestArtifactStore:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = make_result()
+        key = store.save(SPEC, result)
+        assert key == spec_key(SPEC)
+        assert key in store and len(store) == 1
+        loaded = store.load(SPEC)
+        assert loaded is not None and loaded.cached
+        for field in (
+            "dataset",
+            "model",
+            "run_index",
+            "seed",
+            "accuracy",
+            "train_seconds",
+            "inference_seconds_per_query",
+            "engine_seconds_per_query",
+            "engine_warm_seconds_per_query",
+            "cache_hits",
+            "cache_requests",
+            "wall_seconds",
+            "worker",
+        ):
+            assert getattr(loaded, field) == getattr(result, field), field
+
+    def test_none_engine_fields_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(SPEC, make_result(engine_seconds_per_query=None,
+                                     engine_warm_seconds_per_query=None))
+        loaded = store.load(SPEC)
+        assert loaded.engine_seconds_per_query is None
+        assert loaded.engine_warm_seconds_per_query is None
+
+    def test_missing_spec_is_a_miss(self, tmp_path):
+        assert ArtifactStore(tmp_path).load(SPEC) is None
+
+    def test_corrupted_payload_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.save(SPEC, make_result())
+        npz_path = tmp_path / f"{key}.npz"
+        payload = bytearray(npz_path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        npz_path.write_bytes(bytes(payload))
+        assert store.load(SPEC) is None
+
+    def test_hash_collision_reads_as_miss(self, tmp_path):
+        """Two specs landing on one key must never replay each other.
+
+        Real SHA-256 collisions are unconstructible, so simulate one: tamper
+        with the manifest so its recorded spec differs from the requested
+        one while the file still sits under the requested key.
+        """
+        store = ArtifactStore(tmp_path)
+        key = store.save(SPEC, make_result())
+        manifest_path = tmp_path / f"{key}.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["spec"] = {**SPEC, "seed": 43}  # the "colliding" spec
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.load(SPEC) is None
+
+    def test_layout_version_mismatch_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.save(SPEC, make_result())
+        manifest_path = tmp_path / f"{key}.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["store_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.load(SPEC) is None
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(SPEC, make_result())
+        store.save({**SPEC, "seed": 43}, make_result(seed=43))
+        assert store.clear() == 2
+        assert len(store) == 0 and store.load(SPEC) is None
+
+    def test_spec_key_is_order_insensitive(self):
+        assert spec_key({"a": 1, "b": 2}) == spec_key({"b": 2, "a": 1})
+        assert canonical_spec({"b": 2, "a": 1}) == '{"a":1,"b":2}'
+
+
+# --------------------------------------------------------------- hypothesis
+
+
+spec_values = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+specs = st.dictionaries(st.text(min_size=1, max_size=10), spec_values, max_size=6)
+
+
+@pytest.mark.slow
+@given(first=specs, second=specs)
+@settings(max_examples=60, deadline=None)
+def test_property_distinct_specs_get_distinct_keys(first, second):
+    if canonical_spec(first) == canonical_spec(second):
+        assert spec_key(first) == spec_key(second)
+    else:
+        assert spec_key(first) != spec_key(second)
+
+
+@pytest.mark.slow
+@given(
+    accuracy=st.floats(0.0, 1.0, allow_nan=False),
+    train_seconds=st.floats(0.0, 1e6, allow_nan=False),
+    inference=st.floats(0.0, 1.0, allow_nan=False),
+    engine=st.one_of(st.none(), st.floats(0.0, 1.0, allow_nan=False)),
+    run_index=st.integers(0, 1000),
+    seed=st.integers(0, 2**63 - 1),
+    hits=st.integers(0, 10**9),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_store_round_trip_bit_exact(
+    tmp_path_factory, accuracy, train_seconds, inference, engine, run_index, seed, hits
+):
+    store = ArtifactStore(tmp_path_factory.mktemp("store"))
+    result = make_result(
+        accuracy=accuracy,
+        train_seconds=train_seconds,
+        inference_seconds_per_query=inference,
+        engine_seconds_per_query=engine,
+        run_index=run_index,
+        seed=seed,
+        cache_hits=hits,
+    )
+    spec = {"seed": seed, "run_index": run_index}
+    store.save(spec, result)
+    loaded = store.load(spec)
+    assert loaded.accuracy == accuracy
+    assert loaded.train_seconds == train_seconds
+    assert loaded.inference_seconds_per_query == inference
+    assert loaded.engine_seconds_per_query == engine
+    assert loaded.run_index == run_index and loaded.seed == seed
+    assert loaded.cache_hits == hits
+
+
+# ---------------------------------------------------------------------------
+# parallel_map, worker resolution, reports
+# ---------------------------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+        assert parallel_map(_square, items, max_workers=2) == [x * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], max_workers=4) == []
+
+    def test_serial_fallback_restores_previous_shared(self):
+        from repro.runtime.executor import _set_shared, get_shared
+
+        _set_shared("outer")
+        try:
+            parallel_map(_square, [1, 2], shared="inner")
+            assert get_shared() == "outer"
+        finally:
+            _set_shared(None)
+
+    def test_resolve_max_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert resolve_max_workers(None) == 1
+        assert resolve_max_workers(0) == 1
+        assert resolve_max_workers(3) == 3
+        assert resolve_max_workers("auto") >= 1
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "5")
+        assert resolve_max_workers(None) == 5
+
+
+class TestRunReport:
+    def make_report(self):
+        cells = (
+            CellStats("A", "m", 0, wall_seconds=1.0, worker=10, cached=False),
+            CellStats("A", "m", 1, wall_seconds=3.0, worker=11, cached=False),
+            CellStats("A", "m", 2, wall_seconds=9.9, worker=12, cached=True),
+        )
+        return RunReport(total_seconds=2.0, max_workers=2, cells=cells)
+
+    def test_statistics(self):
+        report = self.make_report()
+        assert report.n_cells == 3
+        assert report.n_cached == 1 and report.n_computed == 2
+        assert report.busy_seconds == pytest.approx(4.0)
+        assert report.utilization == pytest.approx(4.0 / (2.0 * 2))
+        assert report.n_workers_used == 2
+        assert [c.run_index for c in report.slowest(1)] == [1]
+        assert report.per_worker_seconds() == {10: 1.0, 11: 3.0}
+
+    def test_summary_text(self):
+        text = self.make_report().summary()
+        assert "3 cells" in text and "1 cached" in text and "A/m#1" in text
+
+    def test_merge_reports(self):
+        merged = merge_reports([self.make_report(), self.make_report()])
+        assert merged.n_cells == 6
+        assert merged.total_seconds == pytest.approx(4.0)
+        assert merge_reports([]).n_cells == 0
+
+
+class TestCellTask:
+    def test_label(self):
+        task = CellTask("WESAD", "BoostHD", 2, seed=9, dataset_index=0, model_index=1)
+        assert task.label == "WESAD/BoostHD#2"
+
+
+class TestLoaderSource:
+    def test_fingerprint_distinguishes_seeds(self, tiny_scale):
+        canonical = ("WESAD", "Nurse Stress Dataset", "Stress-Predict Dataset")
+        legacy = LoaderSource(canonical, tiny_scale, None, 0.3, 7)
+        derived = LoaderSource(canonical, tiny_scale, 5, 0.3, 7)
+        assert legacy.fingerprint("WESAD") != derived.fingerprint("WESAD")
+        assert legacy.fingerprint("WESAD") == LoaderSource(
+            canonical, tiny_scale, None, 0.3, 7
+        ).fingerprint("WESAD")

@@ -34,6 +34,8 @@ from repro.serving import (
     StreamSession,
 )
 
+pytestmark = pytest.mark.serving
+
 
 @pytest.fixture(scope="module")
 def fitted_models(blobs_split):
@@ -96,6 +98,7 @@ class TestStreamSessionEquivalence:
             np.testing.assert_array_equal(lhs.features, rhs.features)
             assert lhs.end_sample == rhs.end_sample
 
+    @pytest.mark.slow
     def test_long_stream_stays_exact_past_resync(self):
         """The rolling sum re-sync keeps drift bounded on long streams."""
         from repro.serving import session as session_module

@@ -1,0 +1,183 @@
+"""Training-engine benchmark: fused fitting vs the reference loop.
+
+Holds :mod:`repro.engine.train` to its contracts on the Table I
+nurse-stress workload (the paper's ensemble configuration, reduced scale):
+
+* **Exact path** — the default trainer (sort-based bundling, cached-norm
+  adaptive pass, one-shot ensemble encoding) must beat the reference
+  implementation end-to-end on ``BoostHD.fit`` while producing a
+  *bit-identical* model.
+* **Mini-batch path** — ``batch_size=64`` must reach >= 3x the reference
+  fit throughput, with test accuracy within 0.1 of the exact path.
+* **One-shot ensemble encoding** — fitting must run exactly one stacked
+  projection matmul for the whole ensemble instead of ``n_learners``
+  separate encodes, asserted by counting ``NonlinearEncoder.encode`` calls
+  (zero during an independent-partitioner fit: the stacked path multiplies
+  raw bases directly; one during a shared-projection fit: the parent
+  encodes once) and via the :class:`~repro.engine.train.EnsembleEncoding`
+  report.
+
+Fast mode for CI (smaller workload, same assertions)::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m pytest benchmarks/bench_training.py -q
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import BoostHD
+from repro.core.partition import SharedPartitioner
+from repro.data import load_nurse_stress
+from repro.engine.train import encode_ensemble
+from repro.hdc.encoder import NonlinearEncoder
+
+#: Acceptance configuration (ISSUE 4): paper ensemble shape, nurse workload.
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+N_SUBJECTS = 6 if FAST else 8
+WINDOWS_PER_STATE = 8 if FAST else 10
+TOTAL_DIM = 1_000
+N_LEARNERS = 10
+EPOCHS = 3 if FAST else 8
+BATCH_SIZE = 64
+EXACT_FLOOR = 1.15
+MINIBATCH_FLOOR = 3.0
+ACCURACY_BAND = 0.1
+TIMING_ROUNDS = 3
+
+
+def _nurse_workload():
+    dataset = load_nurse_stress(
+        n_subjects=N_SUBJECTS, windows_per_state=WINDOWS_PER_STATE, seed=1
+    )
+    return dataset.split(test_fraction=0.3, rng=3)
+
+
+def _fit_seconds(X, y, **fit_kwargs):
+    """Best-of-N wall time of one BoostHD fit; returns (seconds, model)."""
+    batch_size = fit_kwargs.pop("batch_size", None)
+    best, model = float("inf"), None
+    for _ in range(TIMING_ROUNDS):
+        candidate = BoostHD(
+            total_dim=TOTAL_DIM,
+            n_learners=N_LEARNERS,
+            epochs=EPOCHS,
+            batch_size=batch_size,
+            seed=0,
+        )
+        start = time.perf_counter()
+        candidate.fit(X, y, **fit_kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, model = elapsed, candidate
+    return best, model
+
+
+def test_exact_path_beats_reference_with_identical_model():
+    """Default trainer faster than the legacy loop, bit-identical output."""
+    X_train, _, y_train, _ = _nurse_workload()
+    reference_seconds, reference = _fit_seconds(X_train, y_train, trainer="reference")
+    exact_seconds, exact = _fit_seconds(X_train, y_train)
+
+    np.testing.assert_array_equal(exact.learner_weights_, reference.learner_weights_)
+    for exact_learner, reference_learner in zip(exact.learners_, reference.learners_):
+        np.testing.assert_array_equal(
+            exact_learner.class_hypervectors_,
+            reference_learner.class_hypervectors_,
+        )
+
+    ratio = reference_seconds / exact_seconds
+    print(
+        f"\nExact training path ({len(y_train)} samples, total_dim={TOTAL_DIM}, "
+        f"n_learners={N_LEARNERS}, epochs={EPOCHS}):\n"
+        f"  reference : {reference_seconds * 1e3:8.1f} ms/fit\n"
+        f"  exact     : {exact_seconds * 1e3:8.1f} ms/fit\n"
+        f"  speedup   : {ratio:.2f}x (bit-identical model)"
+    )
+    assert ratio >= EXACT_FLOOR, (
+        f"exact trainer only {ratio:.2f}x the reference loop "
+        f"(required >= {EXACT_FLOOR}x)"
+    )
+
+
+def test_minibatch_speedup_and_accuracy_parity():
+    """batch_size=64 fits >= 3x faster at matched nurse-stress accuracy."""
+    X_train, X_test, y_train, y_test = _nurse_workload()
+    reference_seconds, _ = _fit_seconds(X_train, y_train, trainer="reference")
+    exact_seconds, exact = _fit_seconds(X_train, y_train)
+    minibatch_seconds, minibatch = _fit_seconds(
+        X_train, y_train, batch_size=BATCH_SIZE
+    )
+
+    exact_accuracy = exact.score(X_test, y_test)
+    minibatch_accuracy = minibatch.score(X_test, y_test)
+    ratio = reference_seconds / minibatch_seconds
+    print(
+        f"\nMini-batch training (batch_size={BATCH_SIZE}, {len(y_train)} samples, "
+        f"total_dim={TOTAL_DIM}, epochs={EPOCHS}):\n"
+        f"  reference  : {reference_seconds * 1e3:8.1f} ms/fit\n"
+        f"  exact      : {exact_seconds * 1e3:8.1f} ms/fit\n"
+        f"  mini-batch : {minibatch_seconds * 1e3:8.1f} ms/fit\n"
+        f"  speedup    : {ratio:.2f}x vs reference "
+        f"({exact_seconds / minibatch_seconds:.2f}x vs exact)\n"
+        f"  accuracy   : exact {exact_accuracy:.3f} vs "
+        f"mini-batch {minibatch_accuracy:.3f}"
+    )
+    assert ratio >= MINIBATCH_FLOOR, (
+        f"mini-batch trainer only {ratio:.2f}x the reference loop "
+        f"(required >= {MINIBATCH_FLOOR}x)"
+    )
+    assert abs(exact_accuracy - minibatch_accuracy) <= ACCURACY_BAND, (
+        f"mini-batch accuracy {minibatch_accuracy:.3f} drifted more than "
+        f"{ACCURACY_BAND} from exact {exact_accuracy:.3f}"
+    )
+
+
+def test_fused_encoding_performs_one_projection_matmul(monkeypatch):
+    """One stacked matmul per ensemble instead of n_learners encodes."""
+    X_train, _, y_train, _ = _nurse_workload()
+    calls = {"n": 0}
+    original_encode = NonlinearEncoder.encode
+
+    def counting_encode(self, features):
+        calls["n"] += 1
+        return original_encode(self, features)
+
+    monkeypatch.setattr(NonlinearEncoder, "encode", counting_encode)
+
+    def fit(trainer=None, partitioner=None):
+        calls["n"] = 0
+        BoostHD(
+            total_dim=TOTAL_DIM,
+            n_learners=N_LEARNERS,
+            epochs=0,
+            partitioner=partitioner,
+            seed=0,
+        ).fit(X_train, y_train, trainer=trainer)
+        return calls["n"]
+
+    reference_calls = fit(trainer="reference")
+    independent_calls = fit()
+    shared_calls = fit(
+        partitioner=SharedPartitioner(TOTAL_DIM, N_LEARNERS)
+    )
+
+    # Reference: every learner encodes to fit and again to estimate its
+    # boosting error.  Fused: the stacked path never calls encode at all
+    # (raw bases are multiplied directly); a shared root encodes once.
+    assert reference_calls == 2 * N_LEARNERS
+    assert independent_calls == 0
+    assert shared_calls == 1
+
+    encoders = [learner.encoder for learner in BoostHD(
+        total_dim=TOTAL_DIM, n_learners=N_LEARNERS, epochs=0, seed=0
+    ).fit(X_train, y_train).learners_]
+    encoding = encode_ensemble(encoders, X_train)
+    assert encoding.n_projection_matmuls == 1
+    assert encoding.strategy == "stacked"
+    print(
+        f"\nEnsemble encoding: reference {reference_calls} encoder calls, "
+        f"fused independent {independent_calls}, fused shared {shared_calls} "
+        f"({encoding.n_projection_matmuls} stacked projection matmul)"
+    )

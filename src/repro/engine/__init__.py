@@ -14,7 +14,11 @@ Layout:
 * :mod:`repro.engine.batching` — chunked streaming for batches whose encoded
   matrix would not fit in memory,
 * :mod:`repro.engine.cache` — optional LRU memoisation of encoded chunks for
-  repeated windows.
+  repeated windows,
+* :mod:`repro.engine.train` — the fused *training* engine: exact fast
+  adaptive passes with cached norms, opt-in vectorised mini-batch training,
+  sort-based initial bundling and one-shot ensemble encoding.  Model fitting
+  routes through it by default (see :meth:`repro.hdc.OnlineHD.fit`).
 
 Quick start::
 
@@ -30,6 +34,15 @@ partitioners.
 from .batching import auto_chunk_size, iter_batches, resolve_chunk_size
 from .cache import CacheStats, LRUCache, array_fingerprint
 from .compile import CompiledModel, EngineError, LearnerBlock, compile_model
+from .train import (
+    EnsembleEncoding,
+    ExactPassState,
+    adaptive_pass_exact,
+    adaptive_pass_minibatch,
+    bundle_classes,
+    encode_ensemble,
+    resolve_trainer,
+)
 
 __all__ = [
     "CompiledModel",
@@ -42,4 +55,11 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "array_fingerprint",
+    "EnsembleEncoding",
+    "ExactPassState",
+    "adaptive_pass_exact",
+    "adaptive_pass_minibatch",
+    "bundle_classes",
+    "encode_ensemble",
+    "resolve_trainer",
 ]

@@ -1,0 +1,89 @@
+"""Initial single-pass bundling without ``np.add.at``.
+
+OnlineHD's first pass bundles every encoded sample into its class
+hypervector.  The obvious vectorisation, ``np.add.at(model, labels,
+contributions)``, goes through NumPy's *unbuffered* ``ufunc.at`` machinery,
+which dispatches one scalar-ish inner call per row — notoriously slow for
+``(n, D)`` workloads.
+
+:func:`bundle_classes` replaces the scatter with a stable sort by class
+followed by one contiguous ``np.add.reduce(..., axis=0)`` per class segment.
+
+**Numerically identical ordering.**  ``np.add.at`` accumulates row ``i`` into
+``model[labels[i]]`` in ascending sample order, i.e. each class hypervector
+is the *sequential left-to-right* sum of its samples' contributions.  A
+stable sort preserves exactly that per-class sample order, and
+``np.add.reduce`` along axis 0 of a 2-D array also accumulates row by row
+sequentially (pairwise summation only reorders reductions along a
+*memory-contiguous* reduction axis, and the sample axis of a C-contiguous
+``(n, dim)`` block has stride ``dim`` — except in the degenerate ``dim == 1``
+case, which therefore keeps the ``np.add.at`` scatter).  The two paths
+produce bit-identical class hypervectors — the equivalence is asserted
+property-style in ``tests/test_train_engine.py``.  (The lone representable difference is the
+sign of an exact floating-point zero: ``add.at`` starts from the ``0.0`` in
+the zero-initialised model so a single ``-0.0`` contribution lands as
+``+0.0``, while a segment reduce starts *from* the contribution itself and
+keeps ``-0.0``.  The two compare equal under ``==`` and behave identically
+in every subsequent sum against nonzero data.)
+
+The weighted path scales contributions first (``scale[:, None] * encoded``,
+exactly the expression the legacy bundling used); the unweighted path skips
+the multiply entirely — the legacy code multiplied by an all-ones scale, and
+``x * 1.0 == x`` bit-for-bit for finite IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bundle_classes"]
+
+
+def bundle_classes(
+    model: np.ndarray,
+    encoded: np.ndarray,
+    label_index: np.ndarray,
+    initial_scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """Accumulate per-class sums of ``encoded`` into ``model`` in place.
+
+    Parameters
+    ----------
+    model:
+        Zero-initialised ``(n_classes, dim)`` class-hypervector matrix,
+        updated in place (and returned for convenience).
+    encoded:
+        ``(n_samples, dim)`` encoded training samples.  Views (e.g. a
+        shared-projection column slice) are accepted.
+    label_index:
+        ``(n_samples,)`` integer class index of each sample.
+    initial_scale:
+        Optional per-sample scale (the weighted-bundling path).  ``None``
+        means unit scale and skips the multiply.
+
+    Returns
+    -------
+    ``model``, bit-identical to what ``np.add.at(model, label_index,
+    initial_scale[:, None] * encoded)`` would have produced.
+    """
+    if initial_scale is not None:
+        contributions = initial_scale[:, None] * encoded
+    else:
+        contributions = encoded
+    if contributions.shape[1] == 1:
+        # A one-dimensional hyperspace makes the sample axis the contiguous
+        # one, so a segment reduce would sum pairwise instead of in add.at's
+        # sequential order; the scatter is trivial at this width anyway.
+        np.add.at(model, label_index, contributions)
+        return model
+    order = np.argsort(label_index, kind="stable")
+    sorted_labels = label_index[order]
+    sorted_contributions = contributions[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [len(sorted_labels)]))
+    for start, stop in zip(starts, stops):
+        model[sorted_labels[start]] += np.add.reduce(
+            sorted_contributions[start:stop], axis=0
+        )
+    return model

@@ -1,0 +1,128 @@
+"""Exact fast path for OnlineHD adaptive passes.
+
+The legacy loop (kept as the reference implementation on
+:meth:`repro.hdc.OnlineHD._adaptive_pass`) calls the general
+``cosine_similarity`` once per sample.  That call re-derives the L2 norm of
+*every* class hypervector from scratch — an ``O(K · D)`` reduction per
+sample — even though at most two class rows changed since the previous
+sample, and it pays the full generality overhead (``asarray`` / ``atleast_2d``
+/ squeeze) on every one of ``n · epochs`` iterations.
+
+:func:`adaptive_pass_exact` runs the same update rule with a lean 1-vs-K
+kernel and *cached* norms:
+
+* **Class norms** are computed once per pass state and refreshed only for
+  the one or two rows a sample actually updates, using the same per-row
+  reduction NumPy's ``np.linalg.norm(model, axis=1)`` performs (an
+  ``np.add.reduce`` over the contiguous row of squares) so the cached value
+  is bit-identical to a fresh full recomputation.
+* **Sample norms** are computed once per pass — the encoded matrix is
+  immutable during training.
+* **Preallocated buffers** hold the per-sample squares, scaled
+  hypervectors and scores, so the inner loop performs no per-sample
+  allocations beyond the (1, K) similarity row.
+
+Every arithmetic operation mirrors the reference loop's expression order —
+the same ``(1, D) @ (D, K)`` matmul, the same ``h_norm * class_norm``
+products, the same ``max(denominator, 1e-12)`` clip, the same scalar
+coefficient times hypervector updates — so the resulting model is
+*bit-identical* to the legacy loop (asserted across configurations in
+``tests/test_train_engine.py``).
+
+The incremental-squared-norm recurrence ``‖C + a·h‖² = ‖C‖² + 2a·(C·h) +
+a²·‖h‖²`` (the dot products are already on hand from scoring) would avoid
+even the per-update row reduction, but its rounding differs from a fresh
+norm and would break bit-equality with the reference loop; the mini-batch
+trainer (:mod:`repro.engine.train.minibatch`), which is gated on accuracy
+parity rather than bit-equality, is where that algebraic shortcut pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Denominator clip, mirroring :func:`repro.hdc.similarity.cosine_similarity`.
+_EPS = 1e-12
+
+__all__ = ["ExactPassState", "adaptive_pass_exact"]
+
+
+class ExactPassState:
+    """Cached norms and scratch buffers shared across adaptive epochs.
+
+    One state serves every epoch of a single ``fit`` call: the encoded
+    matrix (hence ``sample_norms``) is fixed, and ``class_norms`` stays
+    valid because the trainer itself performs every model update and
+    refreshes the touched rows.  Build a fresh state whenever the model or
+    the encoded matrix changes hands (e.g. each ``partial_fit`` call).
+    """
+
+    def __init__(self, model: np.ndarray, encoded: np.ndarray) -> None:
+        # Bit-identical to what the reference loop's cosine_similarity
+        # derives per sample: np.linalg.norm(..., axis=1) row reductions.
+        self.class_norms = np.linalg.norm(model, axis=1)
+        self.sample_norms = np.linalg.norm(encoded, axis=1)
+        n_classes, dim = model.shape
+        self._squares = np.empty(dim)
+        self._update = np.empty(dim)
+        self._denominator = np.empty(n_classes)
+        self._scores = np.empty(n_classes)
+
+    def refresh_class_norm(self, model: np.ndarray, index: int) -> None:
+        """Recompute one cached class norm after a rank-1 update.
+
+        ``np.add.reduce`` over the contiguous row of squares is the same
+        reduction ``np.linalg.norm(model, axis=1)`` applies per row, so the
+        refreshed cache entry matches a full recomputation bit-for-bit.
+        """
+        row = model[index]
+        np.multiply(row, row, out=self._squares)
+        self.class_norms[index] = np.sqrt(np.add.reduce(self._squares))
+
+
+def adaptive_pass_exact(
+    model: np.ndarray,
+    encoded: np.ndarray,
+    label_index: np.ndarray,
+    order: np.ndarray,
+    update_scale: np.ndarray,
+    lr: float,
+    state: ExactPassState | None = None,
+) -> ExactPassState:
+    """One OnlineHD adaptive epoch, bit-identical to the reference loop.
+
+    Parameters mirror :meth:`repro.hdc.OnlineHD._adaptive_pass`; ``state``
+    carries the cached norms between epochs of one ``fit`` (pass the value
+    returned by the previous epoch).  Returns the (possibly newly created)
+    state so callers can thread it through.
+    """
+    if state is None:
+        state = ExactPassState(model, encoded)
+    model_t = model.T  # view; stays in sync with in-place row updates
+    class_norms = state.class_norms
+    sample_norms = state.sample_norms
+    denominator = state._denominator
+    scores = state._scores
+    update = state._update
+    for sample in order:
+        hypervector = encoded[sample]
+        true_class = label_index[sample]
+        # Lean 1-vs-K cosine kernel: same (1, D) @ (D, K) matmul and the
+        # same |h| * |C_k| denominator products as the reference path, with
+        # the K class norms read from the cache instead of re-derived.
+        similarities = encoded[sample : sample + 1] @ model_t
+        np.multiply(class_norms, sample_norms[sample], out=denominator)
+        np.maximum(denominator, _EPS, out=denominator)
+        np.divide(similarities[0], denominator, out=scores)
+        predicted = int(np.argmax(scores))
+        scale = update_scale[sample] * lr
+        coefficient = scale * (1.0 - scores[true_class])
+        np.multiply(hypervector, coefficient, out=update)
+        model[true_class] += update
+        state.refresh_class_norm(model, true_class)
+        if predicted != true_class:
+            coefficient = scale * (1.0 - scores[predicted])
+            np.multiply(hypervector, coefficient, out=update)
+            model[predicted] -= update
+            state.refresh_class_norm(model, predicted)
+    return state

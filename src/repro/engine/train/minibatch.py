@@ -1,0 +1,92 @@
+"""Vectorised mini-batch OnlineHD adaptive passes (opt-in).
+
+The exact trainer (:mod:`repro.engine.train.exact`) is bound to the
+reference semantics: every sample is scored against the model state left by
+the previous sample, which forces a Python-level loop.  The standard batched
+OnlineHD formulation trades that strict sequencing for throughput:
+
+1. score a chunk of ``B`` samples against a *frozen* snapshot of the model
+   in one ``(B, D) @ (D, K)`` matmul,
+2. derive every sample's rank-1 update coefficients from those scores,
+3. aggregate all the rank-1 updates of the chunk with a scatter-add
+   expressed as a single ``(K, B) @ (B, D)`` matmul, applied at chunk end.
+
+Within a chunk no update sees its neighbours' effect, so the result is
+*not* bit-identical to the sequential pass — ``batch_size`` is therefore an
+explicit opt-in on :class:`~repro.hdc.OnlineHD` / :class:`~repro.core.BoostHD`
+(default ``None`` keeps the exact path), and the gate is an *accuracy-parity*
+contract on the Table I datasets (``tests/test_train_engine.py``) plus a
+``>= 3x`` fit-time speedup contract on the nurse-stress workload
+(``benchmarks/bench_training.py``) rather than bit-equality.  ``batch_size=1``
+degenerates to per-sample updates and reproduces the exact path's model to
+floating-point equality of the scoring kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Denominator clip, mirroring :func:`repro.hdc.similarity.cosine_similarity`.
+_EPS = 1e-12
+
+__all__ = ["adaptive_pass_minibatch"]
+
+
+def adaptive_pass_minibatch(
+    model: np.ndarray,
+    encoded: np.ndarray,
+    label_index: np.ndarray,
+    order: np.ndarray,
+    update_scale: np.ndarray,
+    lr: float,
+    batch_size: int,
+) -> None:
+    """One adaptive epoch over ``order`` in frozen-snapshot chunks of ``B``.
+
+    Parameters mirror :func:`~repro.engine.train.exact.adaptive_pass_exact`;
+    ``batch_size`` is the chunk length ``B``.  The model is updated in place
+    once per chunk.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n_classes = model.shape[0]
+    class_norms = np.linalg.norm(model, axis=1)
+    sample_norms = np.linalg.norm(encoded, axis=1)
+    for start in range(0, len(order), batch_size):
+        chunk = order[start : start + batch_size]
+        block = encoded[chunk]
+        # Frozen-snapshot scoring: one matmul for the whole chunk, norms
+        # maintained incrementally from the previous chunk's updates.
+        denominator = np.maximum(
+            sample_norms[chunk][:, None] * class_norms[None, :], _EPS
+        )
+        similarities = (block @ model.T) / denominator
+        predicted = np.argmax(similarities, axis=1)
+        true_class = label_index[chunk]
+        rows = np.arange(len(chunk))
+        scale = update_scale[chunk] * lr
+
+        # Rank-1 update coefficients, aggregated per (sample, class): the
+        # scatter-add over duplicate classes happens inside the matmul.
+        coefficients = np.zeros((len(chunk), n_classes))
+        coefficients[rows, true_class] = scale * (
+            1.0 - similarities[rows, true_class]
+        )
+        wrong = predicted != true_class
+        coefficients[rows[wrong], predicted[wrong]] = -scale[wrong] * (
+            1.0 - similarities[rows[wrong], predicted[wrong]]
+        )
+        delta = coefficients.T @ block
+        model += delta
+        # Incremental squared-norm maintenance — the algebraic shortcut the
+        # exact path cannot take:  ‖C + d‖² = ‖C‖² + 2·C·d + ‖d‖²,
+        # with C·d evaluated before the in-place model update... which has
+        # already happened, so use ‖C_new‖² = ‖C_old‖² + 2·C_new·d - ‖d‖².
+        touched = np.flatnonzero(np.any(coefficients != 0.0, axis=0))
+        if len(touched):
+            dot_new = np.einsum("ij,ij->i", model[touched], delta[touched])
+            delta_sq = np.einsum("ij,ij->i", delta[touched], delta[touched])
+            squared = class_norms[touched] ** 2 + 2.0 * dot_new - delta_sq
+            class_norms[touched] = np.sqrt(np.maximum(squared, 0.0))
+    # Accumulated rounding in the incremental norms is invisible at chunk
+    # granularity but callers reusing the model elsewhere always recompute.

@@ -22,6 +22,17 @@ boosting weak learner (see :class:`repro.core.BoostHD`):
   weighted bootstrap resample of the training set, and the initial bundling
   weights samples directly;
 * ``bootstrap=False`` — updates are scaled by the (normalised) sample weight.
+
+Training routes through the fused training engine
+(:mod:`repro.engine.train`): the initial bundling uses a sort + segment
+reduce, and the adaptive epochs run the exact fast pass (cached class/sample
+norms, lean 1-vs-K similarity kernel) — bit-identical to the per-sample
+reference loop kept on :meth:`OnlineHD._adaptive_pass`.  ``batch_size=B``
+opts into the vectorised mini-batch trainer (frozen-snapshot chunk scoring,
+scatter-added rank-1 updates), which changes update sequencing and is gated
+by accuracy parity rather than bit-equality; ``trainer="reference"`` on
+:meth:`fit`/:meth:`partial_fit` forces the legacy loop for equivalence
+testing.
 """
 
 from __future__ import annotations
@@ -50,6 +61,14 @@ class OnlineHD(BaseClassifier):
         When sample weights are provided, resample each adaptive epoch with
         probability proportional to the weights (paper configuration) instead
         of scaling updates.
+    batch_size:
+        ``None`` (default) trains with the exact per-sample pass —
+        bit-identical to the reference loop.  A positive integer opts into
+        the vectorised mini-batch trainer
+        (:func:`repro.engine.train.adaptive_pass_minibatch`): chunks of this
+        many samples are scored against a frozen model snapshot and their
+        rank-1 updates applied together, trading strict sequencing for
+        large fit-time speedups at matched accuracy.
     bandwidth:
         Kernel bandwidth of the default nonlinear encoder (ignored when an
         explicit ``encoder`` is supplied).
@@ -67,6 +86,7 @@ class OnlineHD(BaseClassifier):
         lr: float = 0.035,
         epochs: int = 20,
         bootstrap: bool = True,
+        batch_size: int | None = None,
         bandwidth: float = 1.5,
         encoder: Encoder | None = None,
         seed: int | None = None,
@@ -75,12 +95,15 @@ class OnlineHD(BaseClassifier):
             raise ValueError(f"lr must be positive, got {lr}")
         if epochs < 0:
             raise ValueError(f"epochs must be non-negative, got {epochs}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         self.dim = int(dim)
         self.lr = float(lr)
         self.epochs = int(epochs)
         self.bootstrap = bool(bootstrap)
+        self.batch_size = None if batch_size is None else int(batch_size)
         self.bandwidth = float(bandwidth)
         self.encoder = encoder
         self.seed = seed
@@ -96,35 +119,129 @@ class OnlineHD(BaseClassifier):
             )
         return self.encoder
 
+    def _resolve_trainer(self, trainer: str | None) -> str:
+        """Resolve the adaptive-pass implementation for this fit call."""
+        from ..engine.train import resolve_trainer
+
+        return resolve_trainer(trainer, self.batch_size)
+
+    def _validate_encoded(
+        self, encoded: np.ndarray | None, n_samples: int
+    ) -> np.ndarray | None:
+        if encoded is None:
+            return None
+        encoded = np.asarray(encoded, dtype=float)
+        expected = (n_samples, self.encoder.dim)
+        if encoded.shape != expected:
+            raise ValueError(
+                f"encoded must have shape {expected}, got {encoded.shape}"
+            )
+        return encoded
+
+    def _train_epochs(
+        self,
+        model: np.ndarray,
+        encoded: np.ndarray,
+        label_index: np.ndarray,
+        weights: np.ndarray,
+        weighted: bool,
+        rng: np.random.Generator,
+        n_epochs: int,
+        trainer: str,
+    ) -> None:
+        """Draw per-epoch sample orders and run the selected adaptive pass.
+
+        The random draws are identical for every trainer (and to the
+        original implementation), so the trainer choice never perturbs the
+        epoch resamples/permutations — nor the stream that
+        :meth:`partial_fit` continues.
+        """
+        n = len(label_index)
+        state = None
+        if trainer == "exact" and n_epochs > 0:
+            from ..engine.train.exact import ExactPassState
+
+            state = ExactPassState(model, encoded)
+        for _ in range(n_epochs):
+            if weighted and self.bootstrap:
+                order = rng.choice(n, size=n, p=weights)
+                update_scale = np.ones(n)
+            else:
+                order = rng.permutation(n)
+                update_scale = weights * n if weighted else np.ones(n)
+            if trainer == "exact":
+                from ..engine.train.exact import adaptive_pass_exact
+
+                state = adaptive_pass_exact(
+                    model, encoded, label_index, order, update_scale, self.lr,
+                    state,
+                )
+            elif trainer == "minibatch":
+                from ..engine.train.minibatch import adaptive_pass_minibatch
+
+                adaptive_pass_minibatch(
+                    model, encoded, label_index, order, update_scale, self.lr,
+                    self.batch_size,
+                )
+            else:
+                self._adaptive_pass(model, encoded, label_index, order, update_scale)
+
     def fit(
         self,
         X: np.ndarray,
         y: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        *,
+        encoded: np.ndarray | None = None,
+        trainer: str | None = None,
     ) -> "OnlineHD":
+        """Fit the model: one bundling pass plus ``epochs`` adaptive passes.
+
+        Keyword-only extras route training through the fused engine
+        (:mod:`repro.engine.train`):
+
+        * ``encoded`` — pre-encoded hypervectors for ``X`` (shape
+          ``(n_samples, dim)``), as produced by
+          :func:`repro.engine.train.encode_ensemble`; skips this model's
+          own ``encoder.encode(X)``.  The caller guarantees they match.
+        * ``trainer`` — ``"exact"`` (default; bit-identical fast path),
+          ``"minibatch"`` (requires ``batch_size``; the default whenever
+          ``batch_size`` is set) or ``"reference"`` (the original
+          per-sample loop plus ``np.add.at`` bundling, kept for
+          equivalence testing).
+        """
         X, y = self._validate_fit_args(X, y)
         weights = self._validate_sample_weight(sample_weight, len(y))
         weighted = sample_weight is not None
+        trainer = self._resolve_trainer(trainer)
         encoder = self._ensure_encoder(X.shape[1])
         rng = np.random.default_rng(self.seed)
 
         self.classes_ = np.unique(y)
         label_index = np.searchsorted(self.classes_, y)
-        encoded = encoder.encode(X)
+        encoded = self._validate_encoded(encoded, len(y))
+        if encoded is None:
+            encoded = encoder.encode(X)
 
         # Initial single-pass bundling (weighted when boosting provides weights).
         model = np.zeros((len(self.classes_), encoder.dim))
-        initial_scale = weights * len(y) if weighted else np.ones(len(y))
-        np.add.at(model, label_index, initial_scale[:, None] * encoded)
+        if trainer == "reference":
+            initial_scale = weights * len(y) if weighted else np.ones(len(y))
+            np.add.at(model, label_index, initial_scale[:, None] * encoded)
+        else:
+            from ..engine.train.bundling import bundle_classes
 
-        for _ in range(self.epochs):
-            if weighted and self.bootstrap:
-                order = rng.choice(len(y), size=len(y), p=weights)
-                update_scale = np.ones(len(y))
-            else:
-                order = rng.permutation(len(y))
-                update_scale = weights * len(y) if weighted else np.ones(len(y))
-            self._adaptive_pass(model, encoded, label_index, order, update_scale)
+            bundle_classes(
+                model,
+                encoded,
+                label_index,
+                weights * len(y) if weighted else None,
+            )
+
+        self._train_epochs(
+            model, encoded, label_index, weights, weighted, rng, self.epochs,
+            trainer,
+        )
 
         self.class_hypervectors_ = model
         # Keep the generator so partial_fit continues the same random stream:
@@ -153,6 +270,9 @@ class OnlineHD(BaseClassifier):
         X: np.ndarray,
         y: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        *,
+        encoded: np.ndarray | None = None,
+        trainer: str | None = None,
     ) -> "OnlineHD":
         """One incremental adaptive epoch on ``(X, y)``, reusing the fitted model.
 
@@ -165,6 +285,13 @@ class OnlineHD(BaseClassifier):
         applies to labeled feedback; labels unseen at fit time grow the model
         with a fresh zero-initialised class hypervector.
 
+        Like :meth:`fit`, the pass runs on the fused training engine:
+        ``trainer`` defaults to the exact fast path (bit-identical to the
+        reference loop, so adaptation behaves exactly as before), or to the
+        mini-batch trainer when ``batch_size`` is set; ``encoded`` supplies
+        pre-encoded hypervectors (:class:`~repro.core.BoostHD` shares one
+        ensemble encoding across its weak learners this way).
+
         Requires a fitted model (:meth:`fit` first): the encoder and the
         initial bundling pass define the representation being adapted.
         """
@@ -172,6 +299,7 @@ class OnlineHD(BaseClassifier):
         X, y = self._validate_fit_args(X, y)
         weights = self._validate_sample_weight(sample_weight, len(y))
         weighted = sample_weight is not None
+        trainer = self._resolve_trainer(trainer)
         if X.shape[1] != self.encoder.in_features:
             raise ValueError(
                 f"expected {self.encoder.in_features} features, got {X.shape[1]}"
@@ -184,16 +312,13 @@ class OnlineHD(BaseClassifier):
 
         self._extend_classes(np.unique(y))
         label_index = np.searchsorted(self.classes_, y)
-        encoded = self.encoder.encode(X)
+        encoded = self._validate_encoded(encoded, len(y))
+        if encoded is None:
+            encoded = self.encoder.encode(X)
 
-        if weighted and self.bootstrap:
-            order = rng.choice(len(y), size=len(y), p=weights)
-            update_scale = np.ones(len(y))
-        else:
-            order = rng.permutation(len(y))
-            update_scale = weights * len(y) if weighted else np.ones(len(y))
-        self._adaptive_pass(
-            self.class_hypervectors_, encoded, label_index, order, update_scale
+        self._train_epochs(
+            self.class_hypervectors_, encoded, label_index, weights, weighted,
+            rng, 1, trainer,
         )
         return self
 
@@ -205,7 +330,17 @@ class OnlineHD(BaseClassifier):
         order: np.ndarray,
         update_scale: np.ndarray,
     ) -> None:
-        """One epoch of OnlineHD adaptive updates over samples in ``order``."""
+        """One epoch of OnlineHD adaptive updates over samples in ``order``.
+
+        This is the *reference implementation* — the original per-sample
+        loop, no longer on the default path.  :meth:`fit`/:meth:`partial_fit`
+        run :func:`repro.engine.train.adaptive_pass_exact` instead, which is
+        bit-identical (same scores, same argmax, same update arithmetic) but
+        caches class/sample norms rather than re-deriving every class norm
+        from scratch each sample through the general ``cosine_similarity``.
+        Selectable with ``trainer="reference"``; the equivalence contract
+        lives in ``tests/test_train_engine.py``.
+        """
         for sample in order:
             hypervector = encoded[sample]
             true_class = label_index[sample]
@@ -235,6 +370,23 @@ class OnlineHD(BaseClassifier):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def decision_function_encoded(self, encoded: np.ndarray) -> np.ndarray:
+        """Cosine scores for pre-encoded hypervectors (skips the encoder).
+
+        ``encoded`` must come from this model's encoder (e.g. one block of
+        :func:`repro.engine.train.encode_ensemble`); the result is then
+        bit-identical to :meth:`decision_function` on the raw features.
+        :class:`~repro.core.BoostHD` uses this to estimate each weak
+        learner's boosting error without re-encoding the training matrix.
+        """
+        self._check_fitted("class_hypervectors_")
+        return cosine_similarity(encoded, self.class_hypervectors_)
+
+    def predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
+        """Predict labels for pre-encoded hypervectors (skips the encoder)."""
+        scores = self.decision_function_encoded(encoded)
         return self.classes_[np.argmax(scores, axis=1)]
 
     def compile(self, **options):

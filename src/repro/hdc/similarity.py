@@ -47,7 +47,30 @@ def dot_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
 
 
 def cosine_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
-    """Cosine similarity (Equation 1) between batches of hypervectors."""
+    """Cosine similarity (Equation 1) between batches of hypervectors.
+
+    The 1-vs-many case (a single float64 query against a float64 reference
+    matrix — the shape of every per-sample adaptive update and every
+    single-window serving score) takes a fast path that skips the
+    ``atleast_2d``/dtype-coercion plumbing.  It performs the *same*
+    ``(1, dim) @ (dim, m)`` matmul, row norms, clip and division as the
+    general path, so the result is bit-identical — asserted in
+    ``tests/test_similarity.py``.
+    """
+    if (
+        type(first) is np.ndarray
+        and type(second) is np.ndarray
+        and first.dtype == np.float64
+        and second.dtype == np.float64
+        and first.ndim == 1
+        and second.ndim == 2
+        and first.shape[0] == second.shape[1]
+    ):
+        lhs = first[None, :]
+        lhs_norm = np.linalg.norm(lhs, axis=1)
+        rhs_norm = np.linalg.norm(second, axis=1)
+        denominator = np.maximum(lhs_norm[0] * rhs_norm, _EPS)
+        return (lhs @ second.T)[0] / denominator
     lhs, rhs = _prepare(first, second)
     lhs_norm = np.linalg.norm(lhs, axis=1, keepdims=True)
     rhs_norm = np.linalg.norm(rhs, axis=1, keepdims=True)
@@ -62,11 +85,21 @@ def hamming_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     Inputs are interpreted as sign patterns: any non-negative element counts
     as +1 and any negative element as -1, so the metric works for bipolar,
     binary and real-valued hypervectors alike.
+
+    Computed as a sign matmul: for ±1 sign batches, ``S_l @ S_r.T`` counts
+    ``matches − mismatches``, so the match fraction is ``(dim + S_l @
+    S_r.T) / (2 · dim)``.  A broadcast comparison would materialise the full
+    ``(n, m, dim)`` boolean tensor — ~6 GB for two 1024-row batches at the
+    paper's ``D_total = 10000`` — where the matmul needs only the ``(n, m)``
+    result.  Both numerator and denominator are exact integers in float64
+    (for any realistic ``dim``), and IEEE division is correctly rounded, so
+    the value is bit-identical to the mean-of-booleans formulation.
     """
     lhs, rhs = _prepare(first, second)
+    dim = lhs.shape[1]
     lhs_sign = np.where(lhs >= 0.0, 1.0, -1.0)
     rhs_sign = np.where(rhs >= 0.0, 1.0, -1.0)
-    matches = (lhs_sign[:, None, :] == rhs_sign[None, :, :]).mean(axis=2)
+    matches = (dim + lhs_sign @ rhs_sign.T) / (2.0 * dim)
     return _maybe_squeeze(matches, first, second)
 
 

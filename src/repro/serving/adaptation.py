@@ -17,6 +17,14 @@ retrain, and invalidates/recompiles the fused engine so subsequent
 micro-batches score against the updated class hypervectors.  Adaptation is
 strictly opt-in: :meth:`AdaptiveModel.feedback` is the only mutating entry
 point, and a monitor-only deployment never touches the model.
+
+``partial_fit`` routes through the fused training engine
+(:mod:`repro.engine.train`): a BoostHD feedback batch is encoded once for
+the whole ensemble and each weak learner adapts on its pre-encoded slice
+with the exact fast pass — bit-identical to the historical per-learner
+loop, just cheaper, which matters because feedback runs inline with
+serving.  A model constructed with ``batch_size`` set applies its feedback
+epochs with the vectorised mini-batch trainer instead.
 """
 
 from __future__ import annotations
@@ -228,7 +236,9 @@ class AdaptiveModel:
         One ``partial_fit`` epoch on the served model — a single
         :meth:`~repro.hdc.OnlineHD.partial_fit` for OnlineHD, or
         :meth:`~repro.core.BoostHD.partial_fit` (every weak learner, fixed
-        boosting importances) for an ensemble.
+        boosting importances) for an ensemble.  Either way the epoch runs on
+        the fused training engine (:mod:`repro.engine.train`): one ensemble
+        encoding of the feedback batch, exact fast adaptive passes.
 
         The compiled engine is dropped and rebuilt on next use, and the drift
         baseline re-anchors so post-adaptation confidence defines the new

@@ -56,13 +56,16 @@ _QUANTIZE_DTYPES = {"fixed16": np.int16, "fixed8": np.int8}
 
 #: Hyperparameters persisted per model kind (constructor arguments that are
 #: plain values; encoder/partitioner objects are reconstructed from arrays).
-_ONLINEHD_PARAMS = ("dim", "lr", "epochs", "bootstrap", "bandwidth", "seed")
+_ONLINEHD_PARAMS = (
+    "dim", "lr", "epochs", "bootstrap", "batch_size", "bandwidth", "seed"
+)
 _BOOSTHD_PARAMS = (
     "total_dim",
     "n_learners",
     "lr",
     "epochs",
     "bootstrap",
+    "batch_size",
     "aggregation",
     "uniform_blend",
     "bandwidth",
@@ -333,11 +336,14 @@ class ModelRegistry:
                 bandwidth=float(archive[f"{prefix}bandwidth"]),
             )
         seed = params.get("seed")
+        # .get(...) defaults keep pre-batch_size artifacts loadable.
+        batch_size = params.get("batch_size")
         learner = OnlineHD(
             dim=encoder.dim,
             lr=float(params.get("lr", 0.035)),
             epochs=int(params.get("epochs", 20)),
             bootstrap=bool(params.get("bootstrap", True)),
+            batch_size=None if batch_size is None else int(batch_size),
             bandwidth=float(params.get("bandwidth", 1.5)),
             encoder=encoder,
             seed=None if seed is None else int(seed),
@@ -370,12 +376,14 @@ class ModelRegistry:
             if record.kind != "boosthd":
                 raise RegistryError(f"unknown model kind {record.kind!r} in manifest")
             learner_params = meta.get("learner_params") or []
+            batch_size = params.get("batch_size")
             ensemble = BoostHD(
                 total_dim=int(params["total_dim"]),
                 n_learners=int(params["n_learners"]),
                 lr=float(params["lr"]),
                 epochs=int(params["epochs"]),
                 bootstrap=bool(params["bootstrap"]),
+                batch_size=None if batch_size is None else int(batch_size),
                 aggregation=str(params["aggregation"]),
                 uniform_blend=float(params["uniform_blend"]),
                 bandwidth=float(params["bandwidth"]),

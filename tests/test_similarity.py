@@ -61,6 +61,54 @@ class TestCosineSimilarity:
         assert np.all(values <= 1.0 + 1e-12) and np.all(values >= -1.0 - 1e-12)
 
 
+class TestCosineFastPath:
+    """The 1-vs-many fast path must be bit-identical to the general path."""
+
+    @staticmethod
+    def _general_path(first, second):
+        """The pre-fast-path formulation, kept verbatim as the oracle."""
+        lhs = np.atleast_2d(np.asarray(first, dtype=float))
+        rhs = np.atleast_2d(np.asarray(second, dtype=float))
+        lhs_norm = np.linalg.norm(lhs, axis=1, keepdims=True)
+        rhs_norm = np.linalg.norm(rhs, axis=1, keepdims=True)
+        denominator = np.maximum(lhs_norm @ rhs_norm.T, 1e-12)
+        return ((lhs @ rhs.T) / denominator)[0]
+
+    def test_bit_identical_to_general_path(self):
+        rng = np.random.default_rng(0)
+        for dim, m in ((64, 3), (257, 1), (1000, 10)):
+            query = rng.standard_normal(dim)
+            references = rng.standard_normal((m, dim))
+            np.testing.assert_array_equal(
+                cosine_similarity(query, references),
+                self._general_path(query, references),
+            )
+
+    def test_bit_identical_on_noncontiguous_views(self):
+        rng = np.random.default_rng(1)
+        full = rng.standard_normal((5, 120))
+        query = full[2, ::2]              # strided 1-D view
+        references = full[:, ::2]          # strided 2-D view
+        np.testing.assert_array_equal(
+            cosine_similarity(query, references),
+            self._general_path(query, references),
+        )
+
+    def test_non_float64_inputs_still_work(self):
+        query = np.ones(8, dtype=np.float32)
+        references = np.ones((2, 8), dtype=np.float32)
+        np.testing.assert_allclose(cosine_similarity(query, references), 1.0)
+
+    def test_lists_still_work(self):
+        assert cosine_similarity([1.0, 0.0], [[1.0, 0.0], [0.0, 1.0]]) == pytest.approx(
+            [1.0, 0.0]
+        )
+
+    def test_zero_query_clips_not_nan(self):
+        values = cosine_similarity(np.zeros(6), np.ones((2, 6)))
+        assert np.all(np.isfinite(values))
+
+
 class TestDotAndHamming:
     def test_dot_similarity_matches_numpy(self):
         first = random_hypervector(50, rng=0)
@@ -84,6 +132,34 @@ class TestDotAndHamming:
         first = random_hypervector(64, 4, flavour="bipolar", rng=0)
         second = random_hypervector(64, 2, flavour="bipolar", rng=1)
         assert hamming_similarity(first, second).shape == (4, 2)
+
+    def test_hamming_matmul_matches_broadcast_formulation(self):
+        """Sign-matmul rewrite is bit-identical to the (n, m, dim) broadcast."""
+        rng = np.random.default_rng(3)
+        for n, m, dim in ((4, 3, 97), (1, 5, 64), (7, 7, 33)):
+            first = rng.standard_normal((n, dim))
+            second = rng.standard_normal((m, dim))
+            lhs_sign = np.where(first >= 0.0, 1.0, -1.0)
+            rhs_sign = np.where(second >= 0.0, 1.0, -1.0)
+            broadcast = (lhs_sign[:, None, :] == rhs_sign[None, :, :]).mean(axis=2)
+            np.testing.assert_array_equal(
+                hamming_similarity(first, second), broadcast
+            )
+
+    def test_hamming_real_valued_inputs_use_signs(self):
+        first = np.array([0.3, -0.2, 0.0, -5.0])
+        second = np.array([1.0, 1.0, -1.0, -1.0])
+        # Signs: [+, -, +, -] vs [+, +, -, -] -> 2 of 4 match.
+        assert hamming_similarity(first, second) == pytest.approx(0.5)
+
+    def test_hamming_large_batch_no_broadcast_blowup(self):
+        """256x256 at dim 4096 would be a 256 MB boolean tensor if broadcast."""
+        rng = np.random.default_rng(4)
+        first = np.where(rng.standard_normal((256, 4096)) >= 0, 1.0, -1.0)
+        second = np.where(rng.standard_normal((256, 4096)) >= 0, 1.0, -1.0)
+        values = hamming_similarity(first, second)
+        assert values.shape == (256, 256)
+        assert np.all((values >= 0.0) & (values <= 1.0))
 
 
 class TestPairwiseCosine:

@@ -1,0 +1,493 @@
+"""Equivalence and property contracts for the fused training engine.
+
+The fast paths in :mod:`repro.engine.train` claim three different strengths
+of equivalence, each pinned here:
+
+* **Bit-equality** — the exact trainer (default) and the fused ensemble
+  encoding must reproduce the reference implementation (``np.add.at``
+  bundling + the per-sample loop on ``OnlineHD._adaptive_pass``, selectable
+  with ``trainer="reference"``) byte for byte: same
+  ``class_hypervectors_``, same ``learner_weights_``, same predictions,
+  across every weighting mode, both entry points and both partitioners.
+* **Properties** — the incremental norm cache of
+  :class:`~repro.engine.train.ExactPassState` always matches freshly
+  computed norms, and the sort-based bundling always matches the
+  ``np.add.at`` scatter (hypothesis-driven).
+* **Accuracy parity** — the opt-in mini-batch trainer is *not* bit-equal by
+  design; it must stay within a small accuracy band of the exact path on
+  Table I-style datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BoostHD
+from repro.core.partition import IndependentPartitioner, SharedPartitioner
+from repro.engine.train import (
+    ExactPassState,
+    adaptive_pass_exact,
+    adaptive_pass_minibatch,
+    bundle_classes,
+    encode_ensemble,
+)
+from repro.hdc import NonlinearEncoder, OnlineHD
+from repro.hdc.encoder import LevelIdEncoder
+
+
+# --------------------------------------------------------------------- helpers
+def _weight_modes(n_samples: int):
+    """The three weighting modes of the bit-equality matrix."""
+    rng = np.random.default_rng(11)
+    weights = rng.uniform(0.2, 1.0, n_samples)
+    weights /= weights.sum()
+    return {
+        "unweighted": (None, True),
+        "weighted bootstrap": (weights, True),
+        "weighted scaled": (weights, False),
+    }
+
+
+def _partitioners(total_dim: int, n_learners: int):
+    return {
+        "independent": IndependentPartitioner(total_dim, n_learners),
+        "shared": SharedPartitioner(total_dim, n_learners),
+    }
+
+
+def _assert_boosthd_identical(fast: BoostHD, reference: BoostHD, X):
+    np.testing.assert_array_equal(fast.learner_weights_, reference.learner_weights_)
+    np.testing.assert_array_equal(fast.learner_errors_, reference.learner_errors_)
+    for fast_learner, ref_learner in zip(fast.learners_, reference.learners_):
+        np.testing.assert_array_equal(
+            fast_learner.class_hypervectors_, ref_learner.class_hypervectors_
+        )
+    np.testing.assert_array_equal(fast.predict(X), reference.predict(X))
+
+
+@pytest.fixture(scope="module")
+def train_problem():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((3, 6)) * 2.5
+    X = np.vstack([center + rng.standard_normal((30, 6)) for center in centers])
+    y = np.repeat(np.arange(3), 30)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+# --------------------------------------------------- OnlineHD exact bit-equality
+class TestOnlineHDExactEquivalence:
+    @pytest.mark.parametrize("mode", ["unweighted", "weighted bootstrap", "weighted scaled"])
+    def test_fit_bit_identical_to_reference(self, train_problem, mode):
+        X, y = train_problem
+        weights, bootstrap = _weight_modes(len(y))[mode]
+        fast = OnlineHD(dim=90, epochs=3, bootstrap=bootstrap, seed=5)
+        reference = OnlineHD(dim=90, epochs=3, bootstrap=bootstrap, seed=5)
+        fast.fit(X, y, sample_weight=weights)
+        reference.fit(X, y, sample_weight=weights, trainer="reference")
+        np.testing.assert_array_equal(
+            fast.class_hypervectors_, reference.class_hypervectors_
+        )
+        np.testing.assert_array_equal(fast.predict(X), reference.predict(X))
+
+    @pytest.mark.parametrize("mode", ["unweighted", "weighted bootstrap", "weighted scaled"])
+    def test_partial_fit_bit_identical_to_reference(self, train_problem, mode):
+        X, y = train_problem
+        weights, bootstrap = _weight_modes(len(y))[mode]
+        fast = OnlineHD(dim=90, epochs=2, bootstrap=bootstrap, seed=9)
+        reference = OnlineHD(dim=90, epochs=2, bootstrap=bootstrap, seed=9)
+        fast.fit(X, y, sample_weight=weights)
+        reference.fit(X, y, sample_weight=weights)
+        fast.partial_fit(X, y, sample_weight=weights)
+        reference.partial_fit(X, y, sample_weight=weights, trainer="reference")
+        np.testing.assert_array_equal(
+            fast.class_hypervectors_, reference.class_hypervectors_
+        )
+
+    def test_fit_then_partial_fit_continuation_unchanged(self, train_problem):
+        """fit(epochs=k) + partial_fit still replays fit(epochs=k+1) exactly."""
+        X, y = train_problem
+        full = OnlineHD(dim=70, epochs=3, seed=2).fit(X, y)
+        stepped = OnlineHD(dim=70, epochs=2, seed=2).fit(X, y)
+        stepped.partial_fit(X, y)
+        np.testing.assert_array_equal(
+            stepped.class_hypervectors_, full.class_hypervectors_
+        )
+
+    def test_zero_epochs_bundling_only_bit_identical(self, train_problem):
+        X, y = train_problem
+        fast = OnlineHD(dim=60, epochs=0, seed=1).fit(X, y)
+        reference = OnlineHD(dim=60, epochs=0, seed=1).fit(X, y, trainer="reference")
+        np.testing.assert_array_equal(
+            fast.class_hypervectors_, reference.class_hypervectors_
+        )
+
+    def test_invalid_trainer_rejected(self, train_problem):
+        X, y = train_problem
+        with pytest.raises(ValueError, match="trainer"):
+            OnlineHD(dim=40, epochs=1, seed=0).fit(X, y, trainer="warp")
+
+    def test_minibatch_trainer_requires_batch_size(self, train_problem):
+        X, y = train_problem
+        with pytest.raises(ValueError, match="batch_size"):
+            OnlineHD(dim=40, epochs=1, seed=0).fit(X, y, trainer="minibatch")
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            OnlineHD(dim=40, batch_size=0)
+
+    def test_encoded_shape_mismatch_rejected(self, train_problem):
+        X, y = train_problem
+        model = OnlineHD(dim=40, epochs=1, seed=0)
+        with pytest.raises(ValueError, match="encoded"):
+            model.fit(X, y, encoded=np.zeros((len(y), 41)))
+
+    def test_explicit_encoded_input_bit_identical(self, train_problem):
+        """Pre-encoding with the model's own encoder changes nothing."""
+        X, y = train_problem
+        plain = OnlineHD(dim=80, epochs=2, seed=4).fit(X, y)
+        encoder = NonlinearEncoder(X.shape[1], 80, bandwidth=1.5, rng=4)
+        primed = OnlineHD(dim=80, epochs=2, encoder=encoder, seed=4)
+        primed.fit(X, y, encoded=encoder.encode(X))
+        np.testing.assert_array_equal(
+            primed.class_hypervectors_, plain.class_hypervectors_
+        )
+
+
+# ----------------------------------------------------- BoostHD bit-equality grid
+class TestBoostHDEquivalence:
+    @pytest.mark.parametrize("mode", ["unweighted", "weighted bootstrap", "weighted scaled"])
+    @pytest.mark.parametrize("partition", ["independent", "shared"])
+    def test_fit_bit_identical_to_reference(self, train_problem, mode, partition):
+        X, y = train_problem
+        weights, bootstrap = _weight_modes(len(y))[mode]
+
+        def build():
+            return BoostHD(
+                total_dim=100,
+                n_learners=4,
+                epochs=2,
+                bootstrap=bootstrap,
+                partitioner=_partitioners(100, 4)[partition],
+                seed=13,
+            )
+
+        fast = build().fit(X, y, sample_weight=weights)
+        reference = build().fit(X, y, sample_weight=weights, trainer="reference")
+        _assert_boosthd_identical(fast, reference, X)
+
+    @pytest.mark.parametrize("mode", ["unweighted", "weighted bootstrap", "weighted scaled"])
+    @pytest.mark.parametrize("partition", ["independent", "shared"])
+    def test_partial_fit_bit_identical_to_reference(self, train_problem, mode, partition):
+        X, y = train_problem
+        weights, bootstrap = _weight_modes(40)[mode]
+
+        def build():
+            return BoostHD(
+                total_dim=100,
+                n_learners=4,
+                epochs=1,
+                bootstrap=bootstrap,
+                partitioner=_partitioners(100, 4)[partition],
+                seed=21,
+            ).fit(X, y)
+
+        fast = build()
+        reference = build()
+        fast.partial_fit(X[:40], y[:40], sample_weight=weights)
+        reference.partial_fit(
+            X[:40], y[:40], sample_weight=weights, trainer="reference"
+        )
+        _assert_boosthd_identical(fast, reference, X)
+
+    def test_uneven_dimension_split_bit_identical(self, train_problem):
+        """total_dim not divisible by n_learners: ragged blocks still stack."""
+        X, y = train_problem
+        fast = BoostHD(total_dim=103, n_learners=4, epochs=1, seed=3).fit(X, y)
+        reference = BoostHD(total_dim=103, n_learners=4, epochs=1, seed=3).fit(
+            X, y, trainer="reference"
+        )
+        _assert_boosthd_identical(fast, reference, X)
+
+    def test_memory_gate_falls_back_to_per_learner_encoding(
+        self, train_problem, monkeypatch
+    ):
+        """Over-budget fits skip block retention entirely, same bits."""
+        from repro.engine.train import encoding as encoding_module
+
+        X, y = train_problem
+        fused = BoostHD(total_dim=100, n_learners=4, epochs=1, seed=17).fit(X, y)
+        monkeypatch.setattr(encoding_module, "STACKED_BUDGET_BYTES", 1)
+
+        def exploding_encode_ensemble(*args, **kwargs):
+            raise AssertionError("gated fit must not build an ensemble encoding")
+
+        monkeypatch.setattr(
+            encoding_module, "encode_ensemble", exploding_encode_ensemble
+        )
+        gated = BoostHD(total_dim=100, n_learners=4, epochs=1, seed=17).fit(X, y)
+        gated.partial_fit(X[:20], y[:20])
+        fused.partial_fit(X[:20], y[:20])
+        _assert_boosthd_identical(gated, fused, X)
+
+    def test_bad_trainer_rejected_before_encoding(self, train_problem, monkeypatch):
+        """Invalid trainer arguments fail before the ensemble encoding runs."""
+        from repro.engine.train import encoding as encoding_module
+
+        X, y = train_problem
+
+        def exploding_encode(*args, **kwargs):
+            raise AssertionError("encoded before validating trainer")
+
+        monkeypatch.setattr(encoding_module, "encode_ensemble", exploding_encode)
+        with pytest.raises(ValueError, match="trainer"):
+            BoostHD(total_dim=100, n_learners=4, seed=0).fit(X, y, trainer="warp")
+        with pytest.raises(ValueError, match="batch_size"):
+            BoostHD(total_dim=100, n_learners=4, seed=0).fit(
+                X, y, trainer="minibatch"
+            )
+
+    def test_compiled_engine_agrees_after_fused_training(self, train_problem):
+        """Fused-trained models compile into the inference engine as before."""
+        X, y = train_problem
+        model = BoostHD(total_dim=100, n_learners=4, epochs=1, seed=8).fit(X, y)
+        engine = model.compile(dtype=np.float64)
+        np.testing.assert_array_equal(engine.predict(X), model.predict(X))
+
+
+# ------------------------------------------------------- fused ensemble encoding
+class TestEncodeEnsemble:
+    def test_independent_blocks_bit_identical_to_per_encoder(self, train_problem):
+        X, _ = train_problem
+        encoders = [
+            NonlinearEncoder(X.shape[1], dim, bandwidth=1.5, rng=seed)
+            for seed, dim in enumerate((25, 25, 30))
+        ]
+        encoding = encode_ensemble(encoders, X)
+        assert encoding.n_projection_matmuls == 1
+        assert encoding.strategy == "stacked"
+        for encoder, block in zip(encoders, encoding.blocks):
+            np.testing.assert_array_equal(block, encoder.encode(X))
+
+    def test_shared_slices_encode_root_once_and_exactly(self, train_problem):
+        X, _ = train_problem
+        parent = NonlinearEncoder(X.shape[1], 80, bandwidth=1.5, rng=7)
+        encoders = [parent.slice(0, 30), parent.slice(30, 60), parent.slice(60, 80)]
+        encoding = encode_ensemble(encoders, X)
+        assert encoding.n_projection_matmuls == 1
+        assert encoding.strategy == "shared"
+        for encoder, block in zip(encoders, encoding.blocks):
+            np.testing.assert_array_equal(block, encoder.encode(X))
+
+    def test_fallback_encoder_supported(self, train_problem):
+        X, _ = train_problem
+        encoders = [
+            LevelIdEncoder(X.shape[1], 40, rng=0),
+            NonlinearEncoder(X.shape[1], 40, rng=1),
+        ]
+        encoding = encode_ensemble(encoders, X)
+        assert encoding.strategy == "mixed"
+        for encoder, block in zip(encoders, encoding.blocks):
+            np.testing.assert_array_equal(block, encoder.encode(X))
+
+    def test_stacked_budget_falls_back_per_encoder(self, train_problem):
+        """An over-budget stacked transient degrades gracefully, same bits."""
+        X, _ = train_problem
+        encoders = [
+            NonlinearEncoder(X.shape[1], 30, bandwidth=1.5, rng=seed)
+            for seed in range(3)
+        ]
+        encoding = encode_ensemble(encoders, X, stacked_budget_bytes=1)
+        assert encoding.n_projection_matmuls == len(encoders)
+        assert encoding.strategy == "fallback"
+        for encoder, block in zip(encoders, encoding.blocks):
+            np.testing.assert_array_equal(block, encoder.encode(X))
+
+    def test_mixed_bandwidths_stack_exactly(self, train_problem):
+        """Per-encoder scales are applied after the stacked matmul."""
+        X, _ = train_problem
+        encoders = [
+            NonlinearEncoder(X.shape[1], 20, bandwidth=0.7, rng=3),
+            NonlinearEncoder(X.shape[1], 35, bandwidth=2.4, rng=4),
+        ]
+        encoding = encode_ensemble(encoders, X)
+        assert encoding.n_projection_matmuls == 1
+        for encoder, block in zip(encoders, encoding.blocks):
+            np.testing.assert_array_equal(block, encoder.encode(X))
+
+
+# ------------------------------------------------------------ hypothesis suites
+@settings(max_examples=30, deadline=None)
+@given(
+    n_samples=st.integers(2, 40),
+    n_classes=st.integers(1, 5),
+    dim=st.integers(1, 48),
+    weighted=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_bundling_matches_add_at_scatter(n_samples, n_classes, dim, weighted, seed):
+    """Sort + segment-reduce bundling == np.add.at, bit for bit."""
+    rng = np.random.default_rng(seed)
+    encoded = rng.standard_normal((n_samples, dim))
+    labels = rng.integers(0, n_classes, n_samples)
+    scale = rng.uniform(0.1, 3.0, n_samples) if weighted else None
+
+    expected = np.zeros((n_classes, dim))
+    legacy_scale = np.ones(n_samples) if scale is None else scale
+    np.add.at(expected, labels, legacy_scale[:, None] * encoded)
+
+    actual = bundle_classes(np.zeros((n_classes, dim)), encoded, labels, scale)
+    np.testing.assert_array_equal(actual, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_classes=st.integers(2, 6),
+    dim=st.integers(2, 40),
+    n_updates=st.integers(1, 30),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_exact_state_norm_cache_matches_fresh_norms(n_classes, dim, n_updates, seed):
+    """After any sequence of rank-1 updates, cached norms == recomputed norms.
+
+    This is the load-bearing invariant of the exact fast path: the cache is
+    refreshed with the same per-row reduction ``np.linalg.norm(model,
+    axis=1)`` applies, so it must match a fresh full recomputation exactly —
+    not approximately — or the scores would drift off the reference loop.
+    """
+    rng = np.random.default_rng(seed)
+    model = rng.standard_normal((n_classes, dim))
+    encoded = rng.standard_normal((8, dim))
+    state = ExactPassState(model, encoded)
+    for _ in range(n_updates):
+        target = int(rng.integers(0, n_classes))
+        coefficient = float(rng.normal())
+        model[target] += coefficient * encoded[int(rng.integers(0, 8))]
+        state.refresh_class_norm(model, target)
+    np.testing.assert_array_equal(state.class_norms, np.linalg.norm(model, axis=1))
+    np.testing.assert_array_equal(
+        state.sample_norms, np.linalg.norm(encoded, axis=1)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_samples=st.integers(4, 30),
+    n_classes=st.integers(2, 4),
+    dim=st.integers(4, 32),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_exact_pass_matches_reference_pass_property(n_samples, n_classes, dim, seed):
+    """adaptive_pass_exact == the reference loop for arbitrary inputs."""
+    rng = np.random.default_rng(seed)
+    encoded = rng.standard_normal((n_samples, dim))
+    labels = rng.integers(0, n_classes, n_samples)
+    order = rng.permutation(n_samples)
+    update_scale = rng.uniform(0.2, 2.0, n_samples)
+    base = rng.standard_normal((n_classes, dim))
+
+    fast = base.copy()
+    adaptive_pass_exact(fast, encoded, labels, order, update_scale, lr=0.05)
+
+    reference = base.copy()
+    OnlineHD(dim=dim, lr=0.05)._adaptive_pass(
+        reference, encoded, labels, order, update_scale
+    )
+    np.testing.assert_array_equal(fast, reference)
+
+
+# --------------------------------------------------------- mini-batch trainer
+class TestMinibatchTrainer:
+    def test_batch_size_one_matches_exact_model_closely(self, train_problem):
+        """B=1 keeps per-sample sequencing; only the scoring kernel differs."""
+        X, y = train_problem
+        exact = OnlineHD(dim=80, epochs=2, seed=6).fit(X, y)
+        chunked = OnlineHD(dim=80, epochs=2, seed=6, batch_size=1).fit(X, y)
+        np.testing.assert_allclose(
+            chunked.class_hypervectors_, exact.class_hypervectors_, rtol=1e-8
+        )
+
+    def test_invalid_batch_size_rejected_by_pass(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            adaptive_pass_minibatch(
+                np.zeros((2, 4)), np.zeros((3, 4)), np.zeros(3, dtype=int),
+                np.arange(3), np.ones(3), 0.05, batch_size=0,
+            )
+
+    def test_accuracy_parity_on_table1_datasets(self, suite_datasets):
+        """Mini-batch training stays within 0.1 accuracy of the exact path.
+
+        Runs the paper's model on the shared miniature Table I datasets
+        (WESAD + Nurse Stress); this is the gate that lets ``batch_size``
+        trade bit-equality for throughput.
+        """
+        for name, dataset in suite_datasets.items():
+            X_train, X_test, y_train, y_test = dataset.split(test_fraction=0.3, rng=3)
+            exact = BoostHD(total_dim=200, n_learners=4, epochs=4, seed=0)
+            exact.fit(X_train, y_train)
+            chunked = BoostHD(
+                total_dim=200, n_learners=4, epochs=4, seed=0, batch_size=16
+            )
+            chunked.fit(X_train, y_train)
+            exact_accuracy = exact.score(X_test, y_test)
+            chunked_accuracy = chunked.score(X_test, y_test)
+            assert abs(exact_accuracy - chunked_accuracy) <= 0.1, (
+                f"{name}: exact {exact_accuracy:.3f} vs "
+                f"mini-batch {chunked_accuracy:.3f}"
+            )
+
+    def test_partial_fit_uses_minibatch_when_configured(self, train_problem):
+        """batch_size models adapt with the mini-batch pass (still learn)."""
+        X, y = train_problem
+        model = OnlineHD(dim=80, epochs=1, seed=0, batch_size=8).fit(X, y)
+        baseline = model.score(X, y)
+        for _ in range(2):
+            model.partial_fit(X, y)
+        assert model.score(X, y) >= baseline - 0.1
+
+    def test_clone_round_trips_batch_size(self):
+        from repro.baselines.base import clone
+
+        model = BoostHD(total_dim=100, n_learners=4, batch_size=32)
+        assert clone(model).batch_size == 32
+        learner = OnlineHD(dim=50, batch_size=16)
+        assert clone(learner).batch_size == 16
+
+    def test_registry_round_trips_batch_size(self, train_problem, tmp_path):
+        """Restored models keep their mini-batch training mode."""
+        from repro.serving import ModelRegistry
+
+        X, y = train_problem
+        registry = ModelRegistry(tmp_path)
+        ensemble = BoostHD(
+            total_dim=100, n_learners=4, epochs=1, seed=0, batch_size=32
+        ).fit(X, y)
+        registry.save("ensemble", ensemble)
+        restored = registry.load("ensemble")
+        assert restored.batch_size == 32
+        assert all(learner.batch_size == 32 for learner in restored.learners_)
+
+        single = OnlineHD(dim=60, epochs=1, seed=0, batch_size=8).fit(X, y)
+        registry.save("single", single)
+        assert registry.load("single").batch_size == 8
+
+
+# ------------------------------------------------------------ encoded scoring
+class TestEncodedScoring:
+    def test_predict_encoded_matches_predict(self, train_problem):
+        X, y = train_problem
+        model = OnlineHD(dim=80, epochs=1, seed=0).fit(X, y)
+        encoded = model.encoder.encode(X)
+        np.testing.assert_array_equal(model.predict_encoded(encoded), model.predict(X))
+        np.testing.assert_array_equal(
+            model.decision_function_encoded(encoded), model.decision_function(X)
+        )
+
+    def test_predict_encoded_requires_fit(self):
+        from repro.baselines.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            OnlineHD(dim=20).predict_encoded(np.zeros((2, 20)))

@@ -393,8 +393,10 @@ class BoostHD(BaseClassifier):
         ``decision_function`` match this model's loop path (same aggregation
         semantics, scores equal to floating-point tolerance) while encoding
         each batch once through a stacked projection.  Keyword ``options``
-        (``dtype``, ``chunk_size``, ``cache_size``) are forwarded to
-        :func:`repro.engine.compile_model`.
+        (``dtype``, ``chunk_size``, ``cache_size``, ``precision``) are
+        forwarded to :func:`repro.engine.compile_model`;
+        ``precision="bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"``
+        selects the integer-domain engines of :mod:`repro.engine.quant`.
         """
         from ..engine import compile_model
 

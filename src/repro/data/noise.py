@@ -27,9 +27,11 @@ import copy
 
 import numpy as np
 
+from ..hdc.hypervector import bipolarize
 from ..hdc.quantize import FixedPointFormat, from_fixed_point, to_fixed_point
 
 __all__ = [
+    "flip_bits_bipolar",
     "flip_bits_fixed_point",
     "flip_bits_float32",
     "perturb_array",
@@ -78,6 +80,31 @@ def flip_bits_fixed_point(
     return array + delta
 
 
+def flip_bits_bipolar(
+    values: np.ndarray,
+    probability: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Flip signs of the 1-bit bipolar representation of ``values``.
+
+    The bipolar storage model keeps exactly one bit per element (the sign),
+    so a stored-bit flip *is* a sign flip: each element of ``bipolarize
+    (values)`` is negated independently with ``probability``.  This is the
+    float-domain reference for the packed bit-flip backend of
+    :func:`repro.analysis.robustness.bitflip_sweep`, which applies the same
+    perturbation as XOR masks on the packed class words.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    array = bipolarize(np.asarray(values, dtype=float))
+    if probability == 0.0 or array.size == 0:
+        return array.copy()
+    generator = _as_generator(rng)
+    flips = generator.random(array.shape) < probability
+    return np.where(flips, -array, array)
+
+
 def flip_bits_float32(
     values: np.ndarray,
     probability: float,
@@ -107,13 +134,16 @@ def perturb_array(
     mode: str = "fixed16",
     rng: int | np.random.Generator | None = None,
 ) -> np.ndarray:
-    """Dispatch to the requested bit-flip mode (``fixed16``, ``fixed8``, ``float32``)."""
+    """Dispatch to the requested bit-flip mode (``fixed16``, ``fixed8``,
+    ``float32`` or ``bipolar``)."""
     if mode == "fixed16":
         return flip_bits_fixed_point(values, probability, bits=16, rng=rng)
     if mode == "fixed8":
         return flip_bits_fixed_point(values, probability, bits=8, rng=rng)
     if mode == "float32":
         return flip_bits_float32(values, probability, rng=rng)
+    if mode == "bipolar":
+        return flip_bits_bipolar(values, probability, rng=rng)
     raise ValueError(f"unknown bit-flip mode {mode!r}")
 
 

@@ -15,6 +15,11 @@ Layout:
   matrix would not fit in memory,
 * :mod:`repro.engine.cache` — optional LRU memoisation of encoded chunks for
   repeated windows,
+* :mod:`repro.engine.quant` — integer-domain quantized inference: the
+  bit-packed bipolar XOR + popcount scorer (:class:`PackedBipolarModel`)
+  and the fixed-point integer-matmul scorer (:class:`FixedPointModel`),
+  selected with ``compile_model(..., precision="bipolar-packed" | "fixed16"
+  | "fixed8")`` and constructible straight from registry-stored codes,
 * :mod:`repro.engine.train` — the fused *training* engine: exact fast
   adaptive passes with cached norms, opt-in vectorised mini-batch training,
   sort-based initial bundling and one-shot ensemble encoding.  Model fitting
@@ -25,15 +30,34 @@ Quick start::
     model = BoostHD(total_dim=10_000, n_learners=10, seed=0).fit(X_train, y_train)
     engine = model.compile()            # float32, no chunking, no cache
     predictions = engine.predict(X)     # identical to model.predict(X), much faster
+    packed = model.compile(precision="bipolar-packed")   # 64x smaller classes
+    packed.predict(X)                   # XOR + popcount scoring
 
 The equivalence contract with the loop path is enforced by
 ``tests/test_engine.py`` across dtypes, chunk sizes, aggregation modes and
-partitioners.
+partitioners; the quantized engines' contracts live in
+``tests/test_quant_engine.py`` and ``benchmarks/bench_quant.py``.
 """
 
 from .batching import auto_chunk_size, iter_batches, resolve_chunk_size
 from .cache import CacheStats, LRUCache, array_fingerprint
-from .compile import CompiledModel, EngineError, LearnerBlock, compile_model
+from .compile import (
+    CompiledModel,
+    EngineError,
+    LearnerBlock,
+    ModelComponents,
+    compile_model,
+    model_components,
+)
+from .quant import (
+    QUANT_PRECISIONS,
+    FixedBlock,
+    FixedPointModel,
+    PackedBipolarModel,
+    PackedBlock,
+    PackedQueries,
+    compile_quantized,
+)
 from .train import (
     EnsembleEncoding,
     ExactPassState,
@@ -48,7 +72,16 @@ __all__ = [
     "CompiledModel",
     "EngineError",
     "LearnerBlock",
+    "ModelComponents",
     "compile_model",
+    "model_components",
+    "QUANT_PRECISIONS",
+    "FixedBlock",
+    "FixedPointModel",
+    "PackedBipolarModel",
+    "PackedBlock",
+    "PackedQueries",
+    "compile_quantized",
     "auto_chunk_size",
     "iter_batches",
     "resolve_chunk_size",

@@ -45,7 +45,15 @@ from ..hdc.onlinehd import OnlineHD
 from .batching import ChunkSize, iter_batches, resolve_chunk_size
 from .cache import LRUCache, array_fingerprint
 
-__all__ = ["CompiledModel", "EngineError", "LearnerBlock", "compile_model"]
+__all__ = [
+    "CompiledModel",
+    "EngineError",
+    "LearnerBlock",
+    "ModelComponents",
+    "assemble_projection",
+    "compile_model",
+    "model_components",
+]
 
 #: Denominator clip mirroring :func:`repro.hdc.similarity.cosine_similarity`.
 _EPS = 1e-12
@@ -89,6 +97,10 @@ class CompiledModel:
     scoring (the optional cache serialises nothing and is the one mutable
     component — disable it with ``cache_size=0`` under concurrency).
     """
+
+    #: Class-hypervector representation this engine scores against; the
+    #: quantized variants (:mod:`repro.engine.quant`) override it.
+    precision = "float64"
 
     def __init__(
         self,
@@ -235,6 +247,33 @@ class CompiledModel:
             scores[rows] = self._score_chunk(self._encode_chunk(X[rows]))
         return scores
 
+    def score_encoded(self, encoded: np.ndarray) -> np.ndarray:
+        """Score a pre-encoded ``(n, D_total)`` matrix, skipping the encoder.
+
+        The scoring stage of :meth:`decision_function` on its own — the
+        pure class-comparison cost, chunked like the fused path.  Used by
+        workloads that score one encoding many times (bit-flip robustness
+        trials, re-scoring after adaptation) and by the quantized-engine
+        throughput benchmarks, which compare scoring stages without the
+        shared encoding cost.
+        """
+        encoded = np.asarray(encoded, dtype=self.dtype)
+        if encoded.ndim == 1:
+            encoded = encoded[None, :]
+        if encoded.ndim != 2 or encoded.shape[1] != self.total_dim:
+            raise ValueError(
+                f"expected a (n, {self.total_dim}) encoded matrix, "
+                f"got shape {encoded.shape}"
+            )
+        chunk_size = resolve_chunk_size(
+            self.chunk_size, len(encoded), total_dim=self.total_dim,
+            itemsize=self.dtype.itemsize,
+        )
+        scores = np.empty((len(encoded), len(self.classes_)), dtype=np.float64)
+        for rows in iter_batches(len(encoded), chunk_size):
+            scores[rows] = self._score_chunk(encoded[rows])
+        return scores
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         scores = self.decision_function(X)
         return self.classes_[np.argmax(scores, axis=1)]
@@ -299,45 +338,55 @@ def _normalised_class_weights(
     return weights, columns
 
 
-def compile_model(
-    model: BoostHD | OnlineHD,
-    *,
-    dtype: np.dtype | type | str = np.float32,
-    chunk_size: ChunkSize = None,
-    cache_size: int = 0,
-    cache_bytes: int | None = None,
-) -> CompiledModel:
-    """Compile a fitted ``BoostHD`` or ``OnlineHD`` into a fused scorer.
+@dataclass(frozen=True)
+class ModelComponents:
+    """A fitted model decomposed into the pieces every engine builder needs.
 
-    Parameters
-    ----------
-    model:
-        A fitted ensemble or single OnlineHD model whose encoders are
-        trigonometric random projections.
-    dtype:
-        Arithmetic dtype of the fused path.  ``float32`` (default) halves
-        memory traffic and roughly doubles BLAS/trig throughput on CPU while
-        keeping predictions identical on non-degenerate data; pass
-        ``float64`` for bit-for-bit tolerance testing against the loop path.
-    chunk_size:
-        Rows per streamed chunk: an int, ``None`` (whole batch), or
-        ``"auto"`` (largest chunk within the engine's memory budget).
-    cache_size:
-        When positive, an LRU cache of this many encoded chunks keyed by
-        input bytes — worthwhile when the same windows are scored repeatedly.
-    cache_bytes:
-        Optional byte bound on the encoding cache (evict by total ``nbytes``
-        rather than entry count).  May be combined with ``cache_size`` or used
-        alone (``cache_size=0`` then means "no count bound"); long-running
-        serving processes use this to cap encoder-cache memory.
-
-    Raises
-    ------
-    EngineError
-        If the model is unfitted, of an unsupported type, or uses an encoder
-        without projection parameters (e.g. ``LevelIdEncoder``).
+    Produced by :func:`model_components` and consumed by the float engine
+    below and the quantized engines in :mod:`repro.engine.quant`; ``spans``
+    holds each learner's ``[start, stop)`` column range in the stacked
+    projection, already validated against the basis row count.
     """
-    resolved = np.dtype(dtype)
+
+    learners: tuple
+    alphas: np.ndarray
+    aggregation: str
+    classes: np.ndarray
+    basis: np.ndarray
+    bias: np.ndarray
+    shared: bool
+    spans: tuple[tuple[int, int], ...]
+
+
+def assemble_projection(
+    encoders: Sequence[Encoder], declared: bool | None = None
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Stack encoder projections into one ``(D_total, f)`` basis + bias.
+
+    Returns ``(basis, bias, shared)``; when the encoders tile one parent
+    projection (``shared``), the parent's arrays are reused instead of
+    re-stacking its slices.  ``declared`` short-circuits the structural scan
+    exactly like the partitioner declaration in :func:`model_components`.
+    Shared by :func:`compile_model` and the registry's direct engine loader.
+    """
+    root = None if declared is False else _shared_root(encoders)
+    if root is not None:
+        basis, bias = _projection_params(root)
+        return basis, bias, True
+    bases, biases = [], []
+    for encoder in encoders:
+        block_basis, block_bias = _projection_params(encoder)
+        bases.append(block_basis)
+        biases.append(block_bias)
+    return np.vstack(bases), np.concatenate(biases), False
+
+
+def model_components(model: BoostHD | OnlineHD) -> ModelComponents:
+    """Decompose a fitted model into stacked-projection engine components.
+
+    Raises :class:`EngineError` when the model is unfitted, of an
+    unsupported type, or uses an encoder without projection parameters.
+    """
     if isinstance(model, BoostHD):
         if model.learners_ is None:
             raise EngineError("cannot compile an unfitted BoostHD; call fit() first")
@@ -363,23 +412,98 @@ def compile_model(
     # unknown/hand-built layout) is still verified against the actual
     # encoders so a mis-declared partitioner cannot corrupt the projection.
     declared = getattr(getattr(model, "partitioner", None), "shared_projection", None)
-    root = None if declared is False else _shared_root(encoders)
-    if root is not None:
-        basis, bias = _projection_params(root)
-    else:
-        bases, biases = [], []
-        for encoder in encoders:
-            block_basis, block_bias = _projection_params(encoder)
-            bases.append(block_basis)
-            biases.append(block_bias)
-        basis = np.vstack(bases)
-        bias = np.concatenate(biases)
+    basis, bias, shared = assemble_projection(encoders, declared)
 
-    blocks: list[LearnerBlock] = []
+    spans: list[tuple[int, int]] = []
     start = 0
-    for learner, alpha in zip(learners, alphas):
+    for learner in learners:
         stop = start + learner.encoder.dim
-        weights, columns = _normalised_class_weights(learner, classes, resolved)
+        spans.append((start, stop))
+        start = stop
+    if start != basis.shape[0]:
+        raise EngineError(
+            f"encoder dimensions sum to {start} but the stacked projection "
+            f"has {basis.shape[0]} rows; the model's encoders are inconsistent"
+        )
+
+    return ModelComponents(
+        learners=tuple(learners),
+        alphas=np.asarray(alphas, dtype=float),
+        aggregation=aggregation,
+        classes=classes,
+        basis=basis,
+        bias=bias,
+        shared=shared,
+        spans=tuple(spans),
+    )
+
+
+def compile_model(
+    model: BoostHD | OnlineHD,
+    *,
+    dtype: np.dtype | type | str = np.float32,
+    chunk_size: ChunkSize = None,
+    cache_size: int = 0,
+    cache_bytes: int | None = None,
+    precision: str = "float64",
+) -> CompiledModel:
+    """Compile a fitted ``BoostHD`` or ``OnlineHD`` into a fused scorer.
+
+    Parameters
+    ----------
+    model:
+        A fitted ensemble or single OnlineHD model whose encoders are
+        trigonometric random projections.
+    dtype:
+        Arithmetic dtype of the fused float path — the encoding stage for
+        every engine, plus class-weight storage and the scoring matmul for
+        the default float engine (the quantized engines score in the
+        integer domain, so ``dtype`` only affects their encoding).
+        ``float32`` (default) halves memory traffic and roughly doubles
+        BLAS/trig throughput on CPU while keeping predictions identical on
+        non-degenerate data; pass ``float64`` for bit-for-bit tolerance
+        testing against the loop path.
+    chunk_size:
+        Rows per streamed chunk: an int, ``None`` (whole batch), or
+        ``"auto"`` (largest chunk within the engine's memory budget).
+    cache_size:
+        When positive, an LRU cache of this many encoded chunks keyed by
+        input bytes — worthwhile when the same windows are scored repeatedly.
+    cache_bytes:
+        Optional byte bound on the encoding cache (evict by total ``nbytes``
+        rather than entry count).  May be combined with ``cache_size`` or used
+        alone (``cache_size=0`` then means "no count bound"); long-running
+        serving processes use this to cap encoder-cache memory.
+    precision:
+        Class-hypervector domain of the scoring stage.  ``"float64"``
+        (default) keeps the exact float engine; ``"bipolar-packed"`` returns
+        a :class:`~repro.engine.quant.PackedBipolarModel` (1-bit sign
+        patterns scored by XOR + popcount), ``"fixed16"`` / ``"fixed8"`` a
+        :class:`~repro.engine.quant.FixedPointModel` (integer-accumulated
+        fixed-point matmuls).  All variants expose the same inference API.
+
+    Raises
+    ------
+    EngineError
+        If the model is unfitted, of an unsupported type, or uses an encoder
+        without projection parameters (e.g. ``LevelIdEncoder``).
+    """
+    if precision != "float64":
+        from .quant import compile_quantized
+
+        return compile_quantized(
+            model,
+            precision=precision,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+        )
+    resolved = np.dtype(dtype)
+    parts = model_components(model)
+    blocks = []
+    for learner, alpha, (start, stop) in zip(parts.learners, parts.alphas, parts.spans):
+        weights, columns = _normalised_class_weights(learner, parts.classes, resolved)
         blocks.append(
             LearnerBlock(
                 start=start,
@@ -389,22 +513,16 @@ def compile_model(
                 class_weights=weights,
             )
         )
-        start = stop
-    if start != basis.shape[0]:
-        raise EngineError(
-            f"encoder dimensions sum to {start} but the stacked projection "
-            f"has {basis.shape[0]} rows; the model's encoders are inconsistent"
-        )
 
     return CompiledModel(
-        basis=basis,
-        bias=bias,
+        basis=parts.basis,
+        bias=parts.bias,
         blocks=blocks,
-        classes=classes,
-        aggregation=aggregation,
+        classes=parts.classes,
+        aggregation=parts.aggregation,
         dtype=resolved,
         chunk_size=chunk_size,
         cache_size=cache_size,
         cache_bytes=cache_bytes,
-        shared_projection=root is not None,
+        shared_projection=parts.shared,
     )

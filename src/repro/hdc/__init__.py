@@ -23,13 +23,16 @@ from .hypervector import (
     bundle,
     hard_quantize,
     normalize,
+    pack_signs,
     permute,
     random_hypervector,
+    unpack_signs,
 )
 from .onlinehd import OnlineHD
 from .quantize import (
     FixedPointFormat,
     from_fixed_point,
+    quantize_codes,
     quantize_model,
     to_fixed_point,
 )
@@ -37,7 +40,9 @@ from .similarity import (
     cosine_similarity,
     dot_similarity,
     hamming_similarity,
+    packed_hamming_similarity,
     pairwise_cosine,
+    popcount_rows,
 )
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "OnlineHD",
     "FixedPointFormat",
     "from_fixed_point",
+    "quantize_codes",
     "quantize_model",
     "to_fixed_point",
     "as_batch",
@@ -59,10 +65,14 @@ __all__ = [
     "bundle",
     "hard_quantize",
     "normalize",
+    "pack_signs",
     "permute",
     "random_hypervector",
+    "unpack_signs",
     "cosine_similarity",
     "dot_similarity",
     "hamming_similarity",
+    "packed_hamming_similarity",
     "pairwise_cosine",
+    "popcount_rows",
 ]

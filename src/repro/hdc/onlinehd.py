@@ -397,7 +397,9 @@ class OnlineHD(BaseClassifier):
         :meth:`decision_function` (cosine similarities) and :meth:`predict`
         with the engine's fused encoding, configurable ``dtype``, chunked
         streaming and optional encoding cache.  Keyword ``options`` are
-        forwarded to :func:`repro.engine.compile_model`.
+        forwarded to :func:`repro.engine.compile_model`; a quantized
+        ``precision`` selects the integer-domain engines of
+        :mod:`repro.engine.quant`.
         """
         from ..engine import compile_model
 

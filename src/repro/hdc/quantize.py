@@ -20,8 +20,14 @@ __all__ = [
     "FixedPointFormat",
     "to_fixed_point",
     "from_fixed_point",
+    "quantize_codes",
     "quantize_model",
 ]
+
+#: Storage formats of the named fixed-point schemes: total bits and the
+#: narrowest NumPy integer dtype that holds the signed code range.
+SCHEME_BITS = {"fixed16": 16, "fixed8": 8}
+SCHEME_DTYPES = {"fixed16": np.int16, "fixed8": np.int8}
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,33 @@ def from_fixed_point(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
     return np.asarray(codes, dtype=float) * fmt.scale
 
 
+def quantize_codes(
+    values: np.ndarray, scheme: str = "fixed16", fmt: FixedPointFormat | None = None
+) -> tuple[np.ndarray, FixedPointFormat]:
+    """Quantize floats to a named scheme's *storage* codes, no float round trip.
+
+    Returns ``(codes, fmt)`` where ``codes`` already has the scheme's native
+    storage dtype (``int16`` for ``"fixed16"``, ``int8`` for ``"fixed8"``) —
+    the form the model registry persists and the integer-domain engines
+    (:mod:`repro.engine.quant`) score with directly.  This is the single
+    quantisation point: :func:`quantize_model` and
+    ``ModelRegistry._store_hypervectors`` both route through it, so the codes
+    a registry stores are byte-identical to the codes a freshly compiled
+    fixed-point engine holds.
+    """
+    if scheme not in SCHEME_BITS:
+        raise ValueError(
+            f"unknown fixed-point scheme {scheme!r}; available: {sorted(SCHEME_BITS)}"
+        )
+    if fmt is not None and fmt.bits != SCHEME_BITS[scheme]:
+        raise ValueError(
+            f"format has {fmt.bits} bits but scheme {scheme!r} stores "
+            f"{SCHEME_BITS[scheme]}"
+        )
+    codes, fmt = to_fixed_point(values, fmt, bits=SCHEME_BITS[scheme])
+    return codes.astype(SCHEME_DTYPES[scheme]), fmt
+
+
 def quantize_model(class_hypervectors: np.ndarray, scheme: str = "bipolar") -> np.ndarray:
     """Quantize class hypervectors for low-cost inference.
 
@@ -87,8 +120,7 @@ def quantize_model(class_hypervectors: np.ndarray, scheme: str = "bipolar") -> n
     array = np.asarray(class_hypervectors, dtype=float)
     if scheme == "bipolar":
         return bipolarize(array)
-    if scheme in ("fixed16", "fixed8"):
-        bits = 16 if scheme == "fixed16" else 8
-        codes, fmt = to_fixed_point(array, bits=bits)
+    if scheme in SCHEME_BITS:
+        codes, fmt = quantize_codes(array, scheme)
         return from_fixed_point(codes, fmt)
     raise ValueError(f"unknown quantization scheme {scheme!r}")

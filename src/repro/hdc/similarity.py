@@ -20,10 +20,57 @@ __all__ = [
     "cosine_similarity",
     "dot_similarity",
     "hamming_similarity",
+    "packed_hamming_similarity",
     "pairwise_cosine",
+    "popcount_rows",
 ]
 
 _EPS = 1e-12
+
+#: NumPy >= 2 ships a vectorised popcount ufunc; older versions fall back to
+#: a 16-bit lookup table (built lazily, 64 KiB once per process).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT_TABLE: np.ndarray | None = None
+
+
+def _popcount_table() -> np.ndarray:
+    """65536-entry ``uint8`` table of 16-bit popcounts (lazy, cached)."""
+    global _POPCOUNT_TABLE
+    if _POPCOUNT_TABLE is None:
+        bits = np.unpackbits(np.arange(65536, dtype=">u2").view(np.uint8))
+        _POPCOUNT_TABLE = bits.reshape(65536, 16).sum(axis=1).astype(np.uint8)
+    return _POPCOUNT_TABLE
+
+
+def _popcount_rows_lut(words: np.ndarray) -> np.ndarray:
+    """Lookup-table popcount row reduction over ``uint8`` words.
+
+    Adjacent byte pairs index the 16-bit table in one gather; an odd trailing
+    byte indexes the same table directly (its high byte is implicitly zero).
+    """
+    width = words.shape[-1]
+    table = _popcount_table()
+    even = width - (width % 2)
+    pairs = (words[..., :even:2].astype(np.uint16) << 8) | words[..., 1:even:2]
+    counts = table[pairs].sum(axis=-1, dtype=np.int64)
+    if width % 2:
+        counts = counts + table[words[..., -1]].astype(np.int64)
+    return counts
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Total number of set bits per row (summed over the last axis).
+
+    Accepts any unsigned-integer array; uses :func:`numpy.bitwise_count` when
+    available and an exact 16-bit lookup-table fallback otherwise
+    (property-tested equal in ``tests/test_quant_engine.py``).
+    """
+    words = np.asarray(words)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    flat = np.ascontiguousarray(words)
+    as_bytes = flat.view(np.uint8).reshape(*flat.shape[:-1], -1)
+    return _popcount_rows_lut(as_bytes)
 
 
 def _prepare(first: np.ndarray, second: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -44,6 +91,46 @@ def dot_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     lhs, rhs = _prepare(first, second)
     result = lhs @ rhs.T
     return _maybe_squeeze(result, first, second)
+
+
+def packed_hamming_similarity(
+    first_packed: np.ndarray, second_packed: np.ndarray, dim: int
+) -> np.ndarray:
+    """Hamming similarity on :func:`~repro.hdc.hypervector.pack_signs` words.
+
+    Operates entirely in the integer domain: mismatching sign bits are
+    counted with XOR + popcount on the packed ``uint8`` rows, and the match
+    fraction is ``(dim - mismatches) / dim``.  ``dim`` must be the *unpadded*
+    hypervector length — the packed rows are ``ceil(dim / 8)`` bytes, and the
+    zero pad bits of the final byte cancel in the XOR (0 ^ 0 = 0), so they
+    never count as matches or mismatches.
+
+    Bit-identical to :func:`hamming_similarity` on the unpacked sign
+    patterns: both reduce to the correctly rounded float64 quotient of the
+    exact integers ``matches`` and ``dim`` (hypothesis-tested in
+    ``tests/test_quant_engine.py``, including dims not divisible by 8).
+    """
+    lhs = np.atleast_2d(np.asarray(first_packed, dtype=np.uint8))
+    rhs = np.atleast_2d(np.asarray(second_packed, dtype=np.uint8))
+    if lhs.shape[-1] != rhs.shape[-1]:
+        raise ValueError(f"packed width mismatch: {lhs.shape[-1]} vs {rhs.shape[-1]}")
+    width = (int(dim) + 7) // 8
+    if dim < 1 or lhs.shape[-1] != width:
+        raise ValueError(
+            f"packed width {lhs.shape[-1]} does not match dim={dim} "
+            f"(expected {width} bytes per row)"
+        )
+    # Row-chunk the (n, m, width) XOR tensor so huge batches stay bounded.
+    n, m = lhs.shape[0], rhs.shape[0]
+    mismatches = np.empty((n, m), dtype=np.int64)
+    rows = max(1, (1 << 24) // max(1, m * width))
+    for start in range(0, n, rows):
+        block = lhs[start : start + rows]
+        mismatches[start : start + rows] = popcount_rows(
+            block[:, None, :] ^ rhs[None, :, :]
+        )
+    matches = (dim - mismatches) / dim
+    return _maybe_squeeze(matches, first_packed, second_packed)
 
 
 def cosine_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
@@ -94,6 +181,12 @@ def hamming_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     result.  Both numerator and denominator are exact integers in float64
     (for any realistic ``dim``), and IEEE division is correctly rounded, so
     the value is bit-identical to the mean-of-booleans formulation.
+
+    The normalising ``dim`` is always the *unpadded* hypervector length of
+    the float inputs.  When interoperating with bit-packed sign rows
+    (:func:`packed_hamming_similarity`), pass that same unpadded ``dim`` —
+    never ``8 * packed_width`` — or the zero pad bits of the final packed
+    byte would be silently counted as matching elements.
     """
     lhs, rhs = _prepare(first, second)
     dim = lhs.shape[1]

@@ -16,8 +16,9 @@ engine (:mod:`repro.engine`) into a long-running service:
   degrading with session count;
 * :mod:`repro.serving.registry` — :class:`ModelRegistry`, versioned
   npz-based save/load of fitted ``OnlineHD`` / ``BoostHD`` models (exact
-  round trip, optional fixed-point hypervector storage) so service processes
-  never retrain;
+  round trip, optional fixed-point hypervector storage, quantized-engine
+  loads straight from stored codes via ``load(name, precision=...)``) so
+  service processes never retrain;
 * :mod:`repro.serving.adaptation` — :class:`DriftMonitor` (rolling
   score-margin drift detection) and :class:`AdaptiveModel` (opt-in OnlineHD
   style adaptation from labeled feedback, with automatic engine

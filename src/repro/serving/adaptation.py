@@ -173,6 +173,13 @@ class AdaptiveModel:
     compile_options:
         Keyword options for :func:`repro.engine.compile_model` used on every
         (re)compile, e.g. ``{"dtype": np.float32, "cache_size": 32}``.
+    precision:
+        Serving precision of the compiled engine (``"float64"`` /
+        ``"bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"``).  The *model*
+        stays full-precision — adaptation updates float class hypervectors —
+        and every (re)compile quantizes the updated hypervectors into a
+        fresh integer-domain engine, so feedback invalidates and rebuilds
+        the quantized engine exactly like the float one.
     """
 
     def __init__(
@@ -181,6 +188,7 @@ class AdaptiveModel:
         *,
         monitor: DriftMonitor | None = None,
         compile_options: dict | None = None,
+        precision: str | None = None,
     ) -> None:
         if not isinstance(model, (BoostHD, OnlineHD)):
             raise TypeError(
@@ -189,11 +197,37 @@ class AdaptiveModel:
         self.model = model
         self.monitor = monitor or DriftMonitor()
         self.compile_options = dict(compile_options or {})
+        if precision is not None:
+            self._validate_precision(precision)
+            self.compile_options["precision"] = precision
         self._compiled = None
         self.recompiles = 0
         self.feedback_samples = 0
 
     # ------------------------------------------------------------ the engine
+    @staticmethod
+    def _validate_precision(precision: str) -> None:
+        """Fail at configuration time, not on the first scoring call."""
+        from ..engine.quant import QUANT_PRECISIONS
+
+        known = ("float64",) + QUANT_PRECISIONS
+        if precision not in known:
+            raise ValueError(
+                f"unknown serving precision {precision!r}; available: {known}"
+            )
+
+    @property
+    def precision(self) -> str:
+        """Serving precision of the (next) compiled engine."""
+        return self.compile_options.get("precision", "float64")
+
+    def set_precision(self, precision: str) -> None:
+        """Change the serving precision; invalidates the compiled engine."""
+        if precision != self.precision:
+            self._validate_precision(precision)
+            self.compile_options["precision"] = precision
+            self._compiled = None
+
     @property
     def stale(self) -> bool:
         """True when feedback invalidated the compiled engine."""

@@ -24,8 +24,10 @@ Round-trip guarantees, enforced by ``tests/test_serving.py``:
   from it — are *byte-identical* to the original's;
 * with ``quantize="fixed16"`` / ``"fixed8"`` the class hypervectors are
   stored as :mod:`repro.hdc.quantize` fixed-point codes (the wearable
-  deployment format, and 4–8x smaller); loading dequantises
-  deterministically, so repeated load→save→load cycles are stable.
+  deployment format, and 4–8x smaller); a plain ``load()`` dequantises
+  deterministically, so repeated load→save→load cycles are stable, while
+  ``load(name, precision=...)`` serves the codes through the integer-domain
+  engines of :mod:`repro.engine.quant` without ever dequantising.
 
 Only trigonometric random-projection encoders are supported — the same
 family the fused engine compiles — so everything the registry can store can
@@ -43,16 +45,22 @@ from pathlib import Path
 import numpy as np
 
 from ..core.boosthd import BoostHD
-from ..engine.compile import _shared_root
+from ..engine.compile import _shared_root, assemble_projection
 from ..hdc.encoder import Encoder, NonlinearEncoder, SlicedEncoder
+from ..hdc.quantize import (
+    SCHEME_BITS,
+    SCHEME_DTYPES,
+    FixedPointFormat,
+    from_fixed_point,
+    quantize_codes,
+)
 from ..hdc.onlinehd import OnlineHD
-from ..hdc.quantize import FixedPointFormat, from_fixed_point, to_fixed_point
 
 __all__ = ["ModelRecord", "ModelRegistry", "RegistryError"]
 
 _VERSION_PATTERN = re.compile(r"^v(\d+)$")
-_QUANTIZE_BITS = {"fixed16": 16, "fixed8": 8}
-_QUANTIZE_DTYPES = {"fixed16": np.int16, "fixed8": np.int8}
+_QUANTIZE_BITS = SCHEME_BITS
+_QUANTIZE_DTYPES = SCHEME_DTYPES
 
 #: Hyperparameters persisted per model kind (constructor arguments that are
 #: plain values; encoder/partitioner objects are reconstructed from arrays).
@@ -110,8 +118,11 @@ def _store_hypervectors(
     if quantize is None:
         arrays[f"{prefix}hypervectors"] = np.asarray(hypervectors, dtype=np.float64)
         return
-    codes, fmt = to_fixed_point(hypervectors, bits=_QUANTIZE_BITS[quantize])
-    arrays[f"{prefix}codes"] = codes.astype(_QUANTIZE_DTYPES[quantize])
+    # One quantisation point for the whole stack: the same quantize_codes
+    # call the quantized engines compile with, so stored codes are
+    # byte-identical to a freshly compiled FixedPointModel's.
+    codes, fmt = quantize_codes(hypervectors, quantize)
+    arrays[f"{prefix}codes"] = codes
     arrays[f"{prefix}scale"] = np.float64(fmt.scale)
 
 
@@ -317,6 +328,49 @@ class ModelRegistry:
         return version
 
     # ------------------------------------------------------------------ load
+    def _archive_header(
+        self, record: ModelRecord, archive
+    ) -> tuple[NonlinearEncoder | None, int, np.ndarray, str, np.ndarray]:
+        """Parse an artifact's header arrays, shared by both loaders.
+
+        Returns ``(shared_parent, n_learners, alphas, aggregation, classes)``
+        — the model-level structure both the model loader and the quantized
+        engine loader reconstruct, kept in one place so an archive-format
+        change cannot make the two paths diverge.
+        """
+        shared_parent = None
+        if record.shared_projection:
+            shared_parent = NonlinearEncoder.from_params(
+                archive["root_basis"],
+                archive["root_bias"],
+                bandwidth=float(archive["root_bandwidth"]),
+            )
+        if record.kind == "onlinehd":
+            return shared_parent, 1, np.ones(1), "score", archive["learner_0_classes"]
+        if record.kind != "boosthd":
+            raise RegistryError(f"unknown model kind {record.kind!r} in manifest")
+        params = record.params
+        return (
+            shared_parent,
+            int(params["n_learners"]),
+            np.asarray(archive["learner_weights"], dtype=np.float64),
+            str(params["aggregation"]),
+            archive["classes"],
+        )
+
+    def _deserialize_encoder(
+        self, archive, index: int, shared_parent: NonlinearEncoder | None
+    ) -> Encoder:
+        prefix = f"learner_{index}_"
+        if shared_parent is not None:
+            start, stop = (int(value) for value in archive[f"{prefix}slice"])
+            return shared_parent.slice(start, stop)
+        return NonlinearEncoder.from_params(
+            archive[f"{prefix}basis"],
+            archive[f"{prefix}bias"],
+            bandwidth=float(archive[f"{prefix}bandwidth"]),
+        )
+
     def _deserialize_learner(
         self,
         archive,
@@ -326,15 +380,7 @@ class ModelRegistry:
         shared_parent: NonlinearEncoder | None,
     ) -> OnlineHD:
         prefix = f"learner_{index}_"
-        if shared_parent is not None:
-            start, stop = (int(value) for value in archive[f"{prefix}slice"])
-            encoder: Encoder = shared_parent.slice(start, stop)
-        else:
-            encoder = NonlinearEncoder.from_params(
-                archive[f"{prefix}basis"],
-                archive[f"{prefix}bias"],
-                bandwidth=float(archive[f"{prefix}bandwidth"]),
-            )
+        encoder = self._deserialize_encoder(archive, index, shared_parent)
         seed = params.get("seed")
         # .get(...) defaults keep pre-batch_size artifacts loadable.
         batch_size = params.get("batch_size")
@@ -352,18 +398,48 @@ class ModelRegistry:
         learner.class_hypervectors_ = _load_hypervectors(archive, prefix, quantize)
         return learner
 
-    def load(self, name: str, version: int | None = None) -> BoostHD | OnlineHD:
-        """Reconstruct a stored model, ready to predict (or ``compile()``)."""
+    def load(
+        self,
+        name: str,
+        version: int | None = None,
+        *,
+        precision: str | None = None,
+        **compile_options,
+    ):
+        """Reconstruct a stored model, ready to predict (or ``compile()``).
+
+        Returns a ``BoostHD`` / ``OnlineHD`` model with the default
+        ``precision=None``, and a compiled engine
+        (:class:`~repro.engine.CompiledModel` or one of its quantized
+        subclasses) when a ``precision`` is given.
+
+        With the default ``precision=None`` the stored model object is
+        rebuilt exactly as saved (fixed-point artifacts are dequantized to
+        float64 — the historical behaviour).  Passing a ``precision``
+        instead returns a *serving engine* at that precision:
+        ``"bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"`` construct the
+        integer-domain engines of :mod:`repro.engine.quant` **directly from
+        the stored codes, without dequantization** (sign bits and
+        fixed-point codes are read as integers end-to-end), and
+        ``"float64"`` compiles the float engine.  ``compile_options``
+        (``dtype``, ``chunk_size``, ``cache_size``, ``cache_bytes``) are
+        forwarded to the engine constructor and are only valid with a
+        ``precision``.
+        """
+        if precision is None:
+            if compile_options:
+                raise RegistryError(
+                    "compile options require a precision; call "
+                    "load(name, precision=...) or load_compiled()"
+                )
+            return self._load_model(name, version)
+        return self.load_compiled(name, version, precision=precision, **compile_options)
+
+    def _load_model(self, name: str, version: int | None = None) -> BoostHD | OnlineHD:
         record = self.describe(name, version)
         meta = json.loads((record.path / "meta.json").read_text())
         with np.load(record.path / "model.npz") as archive:
-            shared_parent = None
-            if record.shared_projection:
-                shared_parent = NonlinearEncoder.from_params(
-                    archive["root_basis"],
-                    archive["root_bias"],
-                    bandwidth=float(archive["root_bandwidth"]),
-                )
+            shared_parent, n_learners, _, _, _ = self._archive_header(record, archive)
             params = record.params
             if record.kind == "onlinehd":
                 model = self._deserialize_learner(
@@ -373,8 +449,6 @@ class ModelRegistry:
                     # A single learner spanning the whole root *is* the root.
                     model.encoder = shared_parent
                 return model
-            if record.kind != "boosthd":
-                raise RegistryError(f"unknown model kind {record.kind!r} in manifest")
             learner_params = meta.get("learner_params") or []
             batch_size = params.get("batch_size")
             ensemble = BoostHD(
@@ -401,19 +475,139 @@ class ModelRegistry:
                     record.quantize,
                     shared_parent,
                 )
-                for index in range(int(params["n_learners"]))
+                for index in range(n_learners)
             ]
             return ensemble
 
-    def load_compiled(self, name: str, version: int | None = None, **compile_options):
-        """Load a stored model and compile it into the fused engine.
+    def load_compiled(
+        self,
+        name: str,
+        version: int | None = None,
+        *,
+        precision: str = "float64",
+        **compile_options,
+    ):
+        """Load a stored model and compile it into a fused engine.
 
         Keyword options (``dtype``, ``chunk_size``, ``cache_size``,
         ``cache_bytes``) are forwarded to
-        :func:`repro.engine.compile_model`; the compiled scorer's predictions
-        are byte-identical to compiling the original model with the same
-        options.
+        :func:`repro.engine.compile_model`; with the default
+        ``precision="float64"`` the compiled scorer's predictions are
+        byte-identical to compiling the original model with the same
+        options.  Quantized precisions (``"bipolar-packed"`` /
+        ``"fixed16"`` / ``"fixed8"``) build the integer-domain engines
+        straight from the stored arrays: a fixed-point artifact loaded at
+        its own (or a wider) precision reuses the stored integer codes
+        byte-for-byte with **no** float64 dequantization; packed-bipolar
+        reads only the stored sign bits.  Narrowing (a ``fixed16`` artifact
+        at ``precision="fixed8"``) is the one case that requantizes through
+        float, since the stored codes cannot represent the narrower format.
         """
         from ..engine import compile_model
+        from ..engine.quant import QUANT_PRECISIONS
 
-        return compile_model(self.load(name, version), **compile_options)
+        if precision == "float64":
+            return compile_model(self._load_model(name, version), **compile_options)
+        if precision not in QUANT_PRECISIONS:
+            raise RegistryError(
+                f"unknown precision {precision!r}; available: "
+                f"{('float64',) + QUANT_PRECISIONS}"
+            )
+        return self._load_quantized_engine(name, version, precision, compile_options)
+
+    def _load_quantized_engine(
+        self, name: str, version: int | None, precision: str, compile_options: dict
+    ):
+        """Build a quantized engine directly from stored arrays.
+
+        The stored class representation is converted to the engine's block
+        form in the integer domain: sign packing reads raw code (or float)
+        signs, matching fixed-point precisions reuse the stored codes
+        byte-for-byte, widening reinterprets them under the same scale.
+        Encoder arrays are float as always — quantization concerns the
+        class-comparison stage, not the projection.
+        """
+        from ..engine.quant import (
+            FixedPointModel,
+            PackedBipolarModel,
+            fixed_block,
+            packed_block,
+        )
+        from ..hdc.hypervector import pack_signs
+
+        record = self.describe(name, version)
+        with np.load(record.path / "model.npz") as archive:
+            shared_parent, n_learners, alphas, aggregation, classes = (
+                self._archive_header(record, archive)
+            )
+
+            encoders = [
+                self._deserialize_encoder(archive, index, shared_parent)
+                for index in range(n_learners)
+            ]
+            basis, bias, shared = assemble_projection(encoders)
+
+            blocks = []
+            start = 0
+            for index in range(n_learners):
+                prefix = f"learner_{index}_"
+                stop = start + encoders[index].dim
+                columns = np.searchsorted(classes, archive[f"{prefix}classes"])
+                if precision == "bipolar-packed":
+                    source = (
+                        archive[f"{prefix}codes"]
+                        if record.quantize is not None
+                        else archive[f"{prefix}hypervectors"]
+                    )
+                    blocks.append(
+                        packed_block(start, stop, alphas[index], columns, pack_signs(source))
+                    )
+                else:
+                    codes, scale = self._stored_fixed_codes(archive, prefix, record, precision)
+                    blocks.append(
+                        fixed_block(start, stop, alphas[index], columns, codes, scale)
+                    )
+                start = stop
+
+        options = dict(
+            basis=basis,
+            bias=bias,
+            blocks=blocks,
+            classes=classes,
+            aggregation=aggregation,
+            shared_projection=shared,
+            dtype=np.dtype(compile_options.pop("dtype", np.float32)),
+            **compile_options,
+        )
+        if precision == "bipolar-packed":
+            return PackedBipolarModel(**options)
+        return FixedPointModel(precision=precision, **options)
+
+    @staticmethod
+    def _stored_fixed_codes(
+        archive, prefix: str, record: ModelRecord, precision: str
+    ) -> tuple[np.ndarray, float]:
+        """One learner's fixed-point codes at the requested precision.
+
+        Stored codes are reused directly when the stored format fits in the
+        requested one (same width: byte-for-byte; widening: the same integer
+        values under the same scale are valid codes of the wider format).
+        Only narrowing — or a float-stored artifact — derives fresh codes.
+        """
+        stored = record.quantize
+        if stored is not None and _QUANTIZE_BITS[stored] <= _QUANTIZE_BITS[precision]:
+            codes = archive[f"{prefix}codes"].astype(
+                _QUANTIZE_DTYPES[precision], copy=False
+            )
+            return codes, float(archive[f"{prefix}scale"])
+        if stored is not None:
+            values = from_fixed_point(
+                archive[f"{prefix}codes"].astype(np.int64),
+                FixedPointFormat(
+                    bits=_QUANTIZE_BITS[stored], scale=float(archive[f"{prefix}scale"])
+                ),
+            )
+        else:
+            values = archive[f"{prefix}hypervectors"]
+        codes, fmt = quantize_codes(values, precision)
+        return codes, fmt.scale

@@ -47,6 +47,13 @@ class StreamingService:
         feature row before scoring — typically the training dataset's fitted
         scaler (``dataset.scaler.transform``), since models are trained on
         standard-scaled features and live streams arrive raw.
+    precision:
+        Optional serving precision (``"float64"`` / ``"bipolar-packed"`` /
+        ``"fixed16"`` / ``"fixed8"``).  A raw fitted model is compiled at
+        that precision; an :class:`~repro.serving.adaptation.AdaptiveModel`
+        is switched to it (subsequent feedback recompiles quantized).  An
+        already-compiled engine must match — the service cannot requantize
+        an engine without the source model.
     """
 
     def __init__(
@@ -61,7 +68,9 @@ class StreamingService:
         max_batch: int = 64,
         max_wait: float = 0.010,
         transform=None,
+        precision: str | None = None,
     ) -> None:
+        scorer = self._apply_precision(scorer, precision)
         self.scheduler = MicroBatchScheduler(
             scorer, max_batch=max_batch, max_wait=max_wait
         )
@@ -72,6 +81,34 @@ class StreamingService:
         self.statistics = tuple(statistics)
         self.transform = transform
         self.sessions: dict[str, StreamSession] = {}
+
+    @staticmethod
+    def _apply_precision(scorer, precision: str | None):
+        """Resolve the requested serving precision against the scorer type."""
+        if precision is None:
+            return scorer
+        from ..core.boosthd import BoostHD
+        from ..engine import CompiledModel, compile_model
+        from ..hdc.onlinehd import OnlineHD
+        from .adaptation import AdaptiveModel
+
+        if isinstance(scorer, (BoostHD, OnlineHD)):
+            return compile_model(scorer, precision=precision)
+        if isinstance(scorer, AdaptiveModel):
+            scorer.set_precision(precision)
+            return scorer
+        if isinstance(scorer, CompiledModel):
+            if scorer.precision != precision:
+                raise ValueError(
+                    f"scorer is already compiled at precision "
+                    f"{scorer.precision!r}; cannot requantize to {precision!r} "
+                    "without the source model"
+                )
+            return scorer
+        raise TypeError(
+            f"cannot apply a serving precision to {type(scorer).__name__}; "
+            "expected a fitted model, an AdaptiveModel or a compiled engine"
+        )
 
     def open_session(self, session_id: str, **overrides) -> StreamSession:
         """Register a subject's stream; keyword overrides reach StreamSession."""

@@ -20,6 +20,13 @@ Layout:
   and the fixed-point integer-matmul scorer (:class:`FixedPointModel`),
   selected with ``compile_model(..., precision="bipolar-packed" | "fixed16"
   | "fixed8")`` and constructible straight from registry-stored codes,
+* :mod:`repro.engine.cascade` — early-exit cascade scoring: a packed first
+  pass scores every row, top-2 margins route only ambiguous rows to a
+  precise second tier (:class:`CascadeModel`, ``precision="cascade-..."``),
+  with held-out threshold calibration (``calibrate_threshold``),
+* :mod:`repro.engine.threads` — blocked row-parallel scoring for the
+  integer-domain engines over GIL-releasing NumPy kernels, bit-identical at
+  any thread count (``REPRO_SCORE_THREADS`` / ``score_threads=``),
 * :mod:`repro.engine.train` — the fused *training* engine: exact fast
   adaptive passes with cached norms, opt-in vectorised mini-batch training,
   sort-based initial bundling and one-shot ensemble encoding.  Model fitting
@@ -41,6 +48,14 @@ partitioners; the quantized engines' contracts live in
 
 from .batching import auto_chunk_size, iter_batches, resolve_chunk_size
 from .cache import CacheStats, LRUCache, array_fingerprint
+from .cascade import (
+    CASCADE_PRECISIONS,
+    CalibrationResult,
+    CascadeModel,
+    CascadeStats,
+    compile_cascade,
+    top2_margin,
+)
 from .compile import (
     CompiledModel,
     EngineError,
@@ -48,6 +63,7 @@ from .compile import (
     ModelComponents,
     compile_model,
     model_components,
+    topk_indices,
 )
 from .quant import (
     QUANT_PRECISIONS,
@@ -58,6 +74,7 @@ from .quant import (
     PackedQueries,
     compile_quantized,
 )
+from .threads import resolve_score_threads, run_row_blocks
 from .train import (
     EnsembleEncoding,
     ExactPassState,
@@ -75,6 +92,15 @@ __all__ = [
     "ModelComponents",
     "compile_model",
     "model_components",
+    "topk_indices",
+    "CASCADE_PRECISIONS",
+    "CalibrationResult",
+    "CascadeModel",
+    "CascadeStats",
+    "compile_cascade",
+    "top2_margin",
+    "resolve_score_threads",
+    "run_row_blocks",
     "QUANT_PRECISIONS",
     "FixedBlock",
     "FixedPointModel",

@@ -1,0 +1,394 @@
+"""Early-exit cascade scoring: packed first pass, margin-routed reranking.
+
+The packed engine (:class:`~repro.engine.quant.PackedBipolarModel`) scores a
+batch several times faster than any other engine, and on most windows its
+argmax already agrees with the float engine — the windows it gets wrong are
+overwhelmingly the *low-margin* ones, where the best and second-best class
+scores nearly tie.  The cascade exploits that structure:
+
+1. **First tier** — every chunk is scored by the packed engine (XOR +
+   popcount over 1-bit sign patterns).
+2. **Margin routing** — each row's top-2 margin ``s_(1) - s_(2)`` is
+   compared against a threshold; rows at or above it keep their packed
+   scores ("early exit"), rows strictly below it are routed on.
+3. **Second tier** — only the routed rows are rescored by a configurable
+   precise engine (``fixed16`` / ``fixed8`` / ``float64``), whose scores
+   replace the packed ones row-for-row.
+
+Because the fixed-point tiers quantize each query row with its own scale,
+their scores are batch-composition invariant — rescoring the routed subset
+is bitwise identical to rescoring those rows inside the full batch, which is
+what makes the routing property testable exactly (``tests/test_cascade.py``).
+The degenerate thresholds are exact by construction: ``-inf`` routes nothing
+(cascade ≡ packed tier bitwise) and ``+inf`` routes everything (cascade ≡
+second tier bitwise — the all-rows case hands the second tier the original
+chunk, so even the float64 tier, whose BLAS matmul is not subset-invariant,
+matches bitwise).
+
+:func:`CascadeModel.calibrate_threshold` picks the cutoff from held-out
+data: sort validation rows by packed margin, then take the smallest prefix
+of reranked rows whose resulting accuracy (or agreement with the second
+tier, when no labels are given) meets a target fraction of the second
+tier's.  Reranked rows score exactly like the second tier, so the achieved
+parity is monotone nondecreasing in the threshold and the search is a
+single prefix scan, no iteration.
+
+Construction goes through :func:`repro.engine.compile_model` with
+``precision="cascade"`` (alias for ``"cascade-fixed16"``) or any of
+``"cascade-fixed16" | "cascade-fixed8" | "cascade-float64"``;
+:meth:`repro.serving.ModelRegistry.load_compiled` builds both tiers
+directly from stored integer codes without dequantizing.  Serving paths
+(:class:`~repro.serving.StreamingService`,
+:class:`~repro.serving.MicroBatchScheduler`) accept a cascade wherever they
+accept any compiled engine — it is a :class:`CompiledModel` with the same
+inference surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .compile import CompiledModel, EngineError
+from .quant import PackedBipolarModel, compile_quantized
+
+__all__ = [
+    "CASCADE_PRECISIONS",
+    "CalibrationResult",
+    "CascadeModel",
+    "CascadeStats",
+    "DEFAULT_THRESHOLD",
+    "compile_cascade",
+    "second_tier_precision",
+    "top2_margin",
+]
+
+#: Cascade precisions understood by ``compile_model(..., precision=...)``;
+#: the bare ``"cascade"`` is an alias for ``"cascade-fixed16"``.
+CASCADE_PRECISIONS = ("cascade-fixed16", "cascade-fixed8", "cascade-float64")
+
+#: Default margin cutoff before calibration.  A placeholder wide enough to
+#: catch genuinely ambiguous windows on the paper's datasets — production
+#: cascades should replace it via :meth:`CascadeModel.calibrate_threshold`.
+DEFAULT_THRESHOLD = 0.05
+
+
+def second_tier_precision(precision: str) -> str:
+    """The second-tier precision named by a cascade precision string."""
+    if precision == "cascade":
+        return "fixed16"
+    if precision.startswith("cascade-"):
+        second = precision[len("cascade-") :]
+        if second in ("fixed16", "fixed8", "float64"):
+            return second
+    raise EngineError(
+        f"unknown cascade precision {precision!r}; available: "
+        f"{('cascade',) + CASCADE_PRECISIONS}"
+    )
+
+
+def top2_margin(scores: np.ndarray) -> np.ndarray:
+    """Per-row top-2 margin ``s_(1) - s_(2)`` of a ``(n, k)`` score matrix.
+
+    With fewer than two classes there is no runner-up and no ambiguity, so
+    the margin is ``+inf`` (nothing ever reranks).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got ndim={scores.ndim}")
+    n, k = scores.shape
+    if k < 2:
+        return np.full(n, np.inf)
+    top2 = np.partition(scores, k - 2, axis=1)[:, -2:]
+    return top2[:, 1] - top2[:, 0]
+
+
+@dataclass
+class CascadeStats:
+    """Running rerank accounting, updated by every scored chunk."""
+
+    rows_scored: int = 0
+    rows_reranked: int = 0
+
+    @property
+    def rerank_fraction(self) -> float:
+        """Fraction of scored rows that went to the second tier."""
+        if self.rows_scored == 0:
+            return 0.0
+        return self.rows_reranked / self.rows_scored
+
+    def reset(self) -> None:
+        self.rows_scored = 0
+        self.rows_reranked = 0
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of :meth:`CascadeModel.calibrate_threshold`.
+
+    ``achieved`` is the validation accuracy (``mode="accuracy"``) or the
+    agreement with the second tier (``mode="parity"``) of the cascade at
+    ``threshold``; ``rerank_fraction`` the fraction of validation rows the
+    threshold routes to the second tier.
+    """
+
+    threshold: float
+    target: float
+    achieved: float
+    rerank_fraction: float
+    n_validation: int
+    mode: str
+
+
+class CascadeModel(CompiledModel):
+    """Two-tier compiled scorer: packed first pass, margin-routed rerank.
+
+    Both tiers must be compiled from the same fitted model — same classes,
+    same stacked projection, same aggregation — which is validated at
+    construction.  The cascade reuses the first tier's encoder arrays (the
+    tiers share one projection, so each chunk is encoded exactly once) and
+    exposes the full :class:`CompiledModel` inference surface.
+
+    ``threshold`` may be reassigned at any time (it is an ordinary float
+    attribute); :meth:`calibrate_threshold` sets it from held-out data.
+    ``stats`` accumulates rerank counts across calls for observability.
+    """
+
+    def __init__(
+        self,
+        *,
+        first: PackedBipolarModel,
+        second: CompiledModel,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        if not isinstance(first, PackedBipolarModel):
+            raise EngineError(
+                f"cascade first tier must be a PackedBipolarModel, "
+                f"got {type(first).__name__}"
+            )
+        if not isinstance(second, CompiledModel) or isinstance(
+            second, (PackedBipolarModel, CascadeModel)
+        ):
+            raise EngineError(
+                f"cascade second tier must be a fixed-point or float compiled "
+                f"engine, got {type(second).__name__}"
+            )
+        if (
+            not np.array_equal(first.classes_, second.classes_)
+            or first.total_dim != second.total_dim
+            or first.in_features != second.in_features
+            or first.aggregation != second.aggregation
+            or first._basis2.shape != second._basis2.shape
+            or not np.array_equal(first._basis2, second._basis2)
+            or not np.array_equal(first._bias, second._bias)
+        ):
+            raise EngineError(
+                "cascade tiers were compiled from different models; both "
+                "tiers must share classes, projection and aggregation"
+            )
+        # Intentionally no super().__init__(): the cascade borrows the first
+        # tier's compiled arrays wholesale instead of re-deriving them, so
+        # the tiers provably share one encoder (and one encoding cache).
+        self.first = first
+        self.second = second
+        self.threshold = float(threshold)
+        self.stats = CascadeStats()
+
+        self.dtype = first.dtype
+        self.classes_ = first.classes_
+        self.aggregation = first.aggregation
+        self.chunk_size = first.chunk_size
+        self.shared_projection = first.shared_projection
+        self.blocks = first.blocks
+        self.in_features = first.in_features
+        self.total_dim = first.total_dim
+        self._basis2 = first._basis2
+        self._bias = first._bias
+        self._sin_bias = first._sin_bias
+        self._alphas = first._alphas
+        self._total_alpha = first._total_alpha
+        self.cache = first.cache
+        self.score_threads = first.score_threads
+        self.precision = f"cascade-{second.precision}"
+
+    def __repr__(self) -> str:
+        return (
+            f"CascadeModel(precision={self.precision!r}, "
+            f"threshold={self.threshold!r}, n_learners={self.n_learners}, "
+            f"total_dim={self.total_dim}, in_features={self.in_features}, "
+            f"aggregation={self.aggregation!r}, dtype={self.dtype.name})"
+        )
+
+    def class_memory_bytes(self) -> int:
+        """Bytes of both tiers' stored class representations."""
+        return self.first.class_memory_bytes() + self.second.class_memory_bytes()
+
+    # -------------------------------------------------------------- scoring
+    def _score_chunk(self, encoded: np.ndarray) -> np.ndarray:
+        scores = self.first._score_chunk(encoded)
+        margins = top2_margin(scores)
+        rerank = margins < self.threshold
+        n_rerank = int(np.count_nonzero(rerank))
+        if n_rerank == len(scores):
+            # All rows rerank: hand the second tier the original chunk, so a
+            # +inf-threshold cascade is bitwise the second tier even when
+            # that tier's float matmul is not subset-invariant.
+            scores = self.second._score_chunk(encoded)
+        elif n_rerank:
+            scores[rerank] = self.second._score_chunk(encoded[rerank])
+        self.stats.rows_scored += len(scores)
+        self.stats.rows_reranked += n_rerank
+        return scores
+
+    # ---------------------------------------------------------- calibration
+    def calibrate_threshold(
+        self,
+        X: np.ndarray,
+        y: np.ndarray | None = None,
+        *,
+        target: float = 0.99,
+        set_threshold: bool = True,
+    ) -> CalibrationResult:
+        """Pick the smallest margin cutoff meeting an accuracy-parity target.
+
+        Scores the validation batch with both tiers once, then scans rerank
+        prefixes in increasing packed-margin order.  With labels ``y``
+        (``mode="accuracy"``), the requirement is cascade accuracy >=
+        ``target`` x second-tier accuracy; without labels
+        (``mode="parity"``), it is argmax agreement with the second tier >=
+        ``target``.  Reranking everything always meets either requirement
+        (full rerank *is* the second tier and the accuracy target is
+        relative), so a feasible prefix always exists; the scan returns the
+        smallest one, extended through margin ties so a strict ``<``
+        threshold reranks exactly the chosen rows.
+
+        Returns a :class:`CalibrationResult`; also assigns
+        ``self.threshold`` unless ``set_threshold=False``.
+        """
+        if not 0.0 <= target <= 1.0:
+            raise ValueError(f"target must be in [0, 1], got {target}")
+        X = self._validate(X)
+        if len(X) == 0:
+            raise ValueError("cannot calibrate on an empty validation set")
+        encoded = self.encode(X)
+        first_scores = self.first.score_encoded(encoded)
+        second_scores = self.second.score_encoded(encoded)
+        first_pred = np.argmax(first_scores, axis=1)
+        second_pred = np.argmax(second_scores, axis=1)
+        margins = top2_margin(first_scores)
+        n = len(margins)
+
+        if y is None:
+            mode = "parity"
+            first_ok = first_pred == second_pred
+            second_ok = np.ones(n, dtype=bool)
+            required = target
+        else:
+            mode = "accuracy"
+            y = np.asarray(y)
+            if y.shape != (n,):
+                raise ValueError(
+                    f"y must have shape ({n},) to match X, got {y.shape}"
+                )
+            labels = np.searchsorted(self.classes_, y)
+            valid = (labels < len(self.classes_)) & (
+                self.classes_[np.minimum(labels, len(self.classes_) - 1)] == y
+            )
+            if not valid.all():
+                raise ValueError(
+                    "y contains labels the model was not trained on"
+                )
+            first_ok = first_pred == labels
+            second_ok = second_pred == labels
+            required = target * float(second_ok.mean())
+
+        # Sort rows by packed margin: reranking a prefix of this order is
+        # exactly what any threshold does.  correct(j) = (reranked prefix
+        # scores as tier 2) + (suffix scores as tier 1).
+        order = np.argsort(margins, kind="stable")
+        first_sorted = first_ok[order].astype(np.int64)
+        second_sorted = second_ok[order].astype(np.int64)
+        suffix_first = np.concatenate(
+            ([0], np.cumsum(first_sorted[::-1])))[::-1]
+        prefix_second = np.concatenate(([0], np.cumsum(second_sorted)))
+        correct = prefix_second + suffix_first  # correct[j]: rerank first j
+        achieved_at = correct / n
+
+        sorted_margins = margins[order]
+        feasible = np.flatnonzero(achieved_at >= required - 1e-12)
+        chosen = int(feasible[0]) if len(feasible) else n
+        if chosen == 0:
+            threshold = -np.inf
+        elif chosen >= n:
+            threshold = np.inf
+            chosen = n
+        else:
+            boundary = sorted_margins[chosen]
+            if boundary == sorted_margins[chosen - 1]:
+                # Equal margins cannot be split by a strict `<` threshold:
+                # extend the prefix through the tie so the threshold really
+                # reranks exactly `chosen` rows.
+                chosen = int(np.searchsorted(sorted_margins, boundary, side="right"))
+                threshold = np.inf if chosen >= n else float(sorted_margins[chosen])
+            else:
+                threshold = float(boundary)
+
+        achieved = float(achieved_at[min(chosen, n)])
+        result = CalibrationResult(
+            threshold=float(threshold),
+            target=float(target),
+            achieved=achieved,
+            rerank_fraction=chosen / n,
+            n_validation=n,
+            mode=mode,
+        )
+        if set_threshold:
+            self.threshold = result.threshold
+        return result
+
+
+def compile_cascade(
+    model,
+    *,
+    precision: str = "cascade-fixed16",
+    threshold: float = DEFAULT_THRESHOLD,
+    dtype: np.dtype | type | str = np.float32,
+    chunk_size=None,
+    cache_size: int = 0,
+    cache_bytes: int | None = None,
+    score_threads: int | str | None = None,
+) -> CascadeModel:
+    """Compile a fitted model into a two-tier early-exit cascade.
+
+    The ``precision="cascade-..."`` dispatch target of
+    :func:`repro.engine.compile_model`; see there for the shared options.
+    The first tier is always ``bipolar-packed``; ``precision`` names the
+    second tier.  The second tier never encodes (the cascade hands it
+    pre-encoded rows), so the encoding cache lives on the first tier only.
+    """
+    second = second_tier_precision(precision)
+    first = compile_quantized(
+        model,
+        precision="bipolar-packed",
+        dtype=dtype,
+        chunk_size=chunk_size,
+        cache_size=cache_size,
+        cache_bytes=cache_bytes,
+        score_threads=score_threads,
+    )
+    if second == "float64":
+        from .compile import compile_model
+
+        second_engine = compile_model(
+            model, dtype=dtype, chunk_size=chunk_size, score_threads=score_threads
+        )
+    else:
+        second_engine = compile_quantized(
+            model,
+            precision=second,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            score_threads=score_threads,
+        )
+    return CascadeModel(first=first, second=second_engine, threshold=threshold)

@@ -53,6 +53,7 @@ __all__ = [
     "assemble_projection",
     "compile_model",
     "model_components",
+    "topk_indices",
 ]
 
 #: Denominator clip mirroring :func:`repro.hdc.similarity.cosine_similarity`.
@@ -61,6 +62,23 @@ _EPS = 1e-12
 
 class EngineError(RuntimeError):
     """Raised when a model cannot be compiled into the fused engine."""
+
+
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the ``k`` largest scores per row, best first.
+
+    Ties break toward the lower column index (stable sort on the negated
+    scores), so column 0 of the result always equals ``argmax(scores,
+    axis=1)`` — ``predict`` and ``predict_topk(...)[:, 0]`` can never
+    disagree.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got ndim={scores.ndim}")
+    n_classes = scores.shape[1]
+    if not 1 <= k <= n_classes:
+        raise ValueError(f"k must be in [1, {n_classes}], got {k}")
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
 
 
 @dataclass(frozen=True)
@@ -115,6 +133,7 @@ class CompiledModel:
         cache_size: int = 0,
         cache_bytes: int | None = None,
         shared_projection: bool = False,
+        score_threads: int | str | None = None,
     ) -> None:
         if aggregation not in ("vote", "score"):
             raise EngineError(f"unsupported aggregation {aggregation!r}")
@@ -123,6 +142,11 @@ class CompiledModel:
         self.aggregation = aggregation
         self.chunk_size = chunk_size
         self.shared_projection = bool(shared_projection)
+        # Scoring-thread request, resolved per call by the integer-domain
+        # engines (:mod:`repro.engine.threads`).  The float engine stores but
+        # ignores it: BLAS matmuls do not promise bitwise row-blocking
+        # invariance, so only the exact integer kernels thread.
+        self.score_threads = score_threads
         self.blocks = tuple(blocks)
         self.in_features = int(basis.shape[1])
         self.total_dim = int(basis.shape[0])
@@ -283,6 +307,22 @@ class CompiledModel:
         shifted = scores - scores.max(axis=1, keepdims=True)
         exponent = np.exp(shifted)
         return exponent / exponent.sum(axis=1, keepdims=True)
+
+    def score_topk(self, X: np.ndarray, k: int = 2) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` scores and labels per sample, best first.
+
+        Returns ``(scores, labels)`` of shape ``(n_samples, k)`` each; column
+        0 matches :meth:`predict` exactly (stable tie-breaking toward the
+        lower class column).  The ``k=2`` default is the cascade's margin
+        source: ``scores[:, 0] - scores[:, 1]`` is the top-2 margin.
+        """
+        scores = self.decision_function(X)
+        indices = topk_indices(scores, k)
+        return np.take_along_axis(scores, indices, axis=1), self.classes_[indices]
+
+    def predict_topk(self, X: np.ndarray, k: int = 2) -> np.ndarray:
+        """Top-``k`` predicted labels per sample, best first (see :meth:`score_topk`)."""
+        return self.classes_[topk_indices(self.decision_function(X), k)]
 
 
 # ---------------------------------------------------------------- compilation
@@ -446,6 +486,8 @@ def compile_model(
     cache_size: int = 0,
     cache_bytes: int | None = None,
     precision: str = "float64",
+    score_threads: int | str | None = None,
+    **cascade_options,
 ) -> CompiledModel:
     """Compile a fitted ``BoostHD`` or ``OnlineHD`` into a fused scorer.
 
@@ -480,7 +522,17 @@ def compile_model(
         a :class:`~repro.engine.quant.PackedBipolarModel` (1-bit sign
         patterns scored by XOR + popcount), ``"fixed16"`` / ``"fixed8"`` a
         :class:`~repro.engine.quant.FixedPointModel` (integer-accumulated
-        fixed-point matmuls).  All variants expose the same inference API.
+        fixed-point matmuls), and ``"cascade"`` / ``"cascade-fixed16"`` /
+        ``"cascade-fixed8"`` / ``"cascade-float64"`` a
+        :class:`~repro.engine.cascade.CascadeModel` (packed first pass,
+        margin-routed second-tier rerank; extra keyword ``threshold`` sets
+        the margin cutoff).  All variants expose the same inference API.
+    score_threads:
+        Scoring-thread request for the integer-domain engines: ``None``
+        (default) defers to the ``REPRO_SCORE_THREADS`` environment variable
+        at each call, ``"auto"`` uses every usable CPU, an int pins the
+        count.  Threaded scoring is bit-identical to single-thread at any
+        count (:mod:`repro.engine.threads`); the float engine ignores it.
 
     Raises
     ------
@@ -488,6 +540,25 @@ def compile_model(
         If the model is unfitted, of an unsupported type, or uses an encoder
         without projection parameters (e.g. ``LevelIdEncoder``).
     """
+    if precision == "cascade" or precision.startswith("cascade-"):
+        from .cascade import compile_cascade
+
+        return compile_cascade(
+            model,
+            precision=precision,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            score_threads=score_threads,
+            **cascade_options,
+        )
+    if cascade_options:
+        raise EngineError(
+            f"unexpected options {sorted(cascade_options)} for precision "
+            f"{precision!r}; only the cascade precisions accept extras "
+            "(e.g. threshold)"
+        )
     if precision != "float64":
         from .quant import compile_quantized
 
@@ -498,6 +569,7 @@ def compile_model(
             chunk_size=chunk_size,
             cache_size=cache_size,
             cache_bytes=cache_bytes,
+            score_threads=score_threads,
         )
     resolved = np.dtype(dtype)
     parts = model_components(model)
@@ -525,4 +597,5 @@ def compile_model(
         cache_size=cache_size,
         cache_bytes=cache_bytes,
         shared_projection=parts.shared,
+        score_threads=score_threads,
     )

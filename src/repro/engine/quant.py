@@ -57,6 +57,7 @@ from ..hdc.hypervector import pack_signs
 from ..hdc.quantize import SCHEME_BITS, SCHEME_DTYPES, quantize_codes
 from ..hdc.similarity import popcount_rows
 from .compile import CompiledModel, EngineError, model_components
+from .threads import run_row_blocks
 
 __all__ = [
     "FixedBlock",
@@ -267,18 +268,29 @@ class PackedBipolarModel(CompiledModel):
     # ---------------------------------------------------------------- scoring
     def _score_words(self, word_blocks: Sequence[np.ndarray], n: int) -> np.ndarray:
         scores = np.zeros((n, len(self.classes_)), dtype=np.float64)
-        rows = np.arange(n) if self.aggregation == "vote" else None
-        for block, words, alpha in zip(self.blocks, word_blocks, self._alphas):
-            dim = block.dim
-            mismatches = np.empty((n, len(block.words)), dtype=np.int64)
-            for j in range(len(block.words)):
-                mismatches[:, j] = popcount_rows(words ^ block.words[j])
-            sims = (dim - mismatches) / dim
-            if rows is not None:
-                winner = np.argmax(sims, axis=1)
-                scores[rows, block.columns[winner]] += alpha
-            else:
-                scores[:, block.columns] += alpha * sims
+        vote = self.aggregation == "vote"
+
+        def kernel(rows: slice) -> None:
+            # Each call owns the disjoint row range ``rows`` of ``scores``:
+            # the XOR/popcount/divide arithmetic is exact per row, so any
+            # row blocking is bit-identical to the serial pass.
+            out = scores[rows]
+            block_n = len(out)
+            local = np.arange(block_n) if vote else None
+            for block, words, alpha in zip(self.blocks, word_blocks, self._alphas):
+                dim = block.dim
+                block_words = words[rows]
+                mismatches = np.empty((block_n, len(block.words)), dtype=np.int64)
+                for j in range(len(block.words)):
+                    mismatches[:, j] = popcount_rows(block_words ^ block.words[j])
+                sims = (dim - mismatches) / dim
+                if local is not None:
+                    winner = np.argmax(sims, axis=1)
+                    out[local, block.columns[winner]] += alpha
+                else:
+                    out[:, block.columns] += alpha * sims
+
+        run_row_blocks(kernel, n, threads=self.score_threads)
         return scores / self._total_alpha
 
     def _score_chunk(self, encoded: np.ndarray) -> np.ndarray:
@@ -393,35 +405,50 @@ class FixedPointModel(CompiledModel):
     def _score_chunk(self, encoded: np.ndarray) -> np.ndarray:
         n = len(encoded)
         scores = np.zeros((n, len(self.classes_)), dtype=np.float64)
-        rows = np.arange(n) if self.aggregation == "vote" else None
+        vote = self.aggregation == "vote"
         accumulator = self._accumulator
-        for block, alpha in zip(self.blocks, self._alphas):
-            view = encoded[:, block.start : block.stop]
-            # Per-row query scale: each row's max magnitude maps to the top
-            # of the signed range, so round() can never leave it (no clip),
-            # every row gets full qmax resolution, and a window's codes —
-            # hence its scores — never depend on what else shares its chunk.
-            magnitude = np.abs(view).max(axis=1).astype(np.float64)
-            magnitude[magnitude <= 0.0] = 1.0
-            quantized = np.round(
-                np.asarray(view, dtype=np.float64)
-                * (self._query_max / magnitude)[:, None]
-            ).astype(block.codes.dtype)
-            # dtype= sets the ufunc calculation width: exact integer
-            # accumulation with no persistent wide copy of the class codes.
-            sims = np.matmul(quantized, block.codes, dtype=accumulator)
-            query_norms = np.sqrt(
-                np.einsum("ij,ij->i", quantized, quantized, dtype=np.int64).astype(
-                    np.float64
+
+        def kernel(rows: slice) -> None:
+            # Row-independent by construction: every step below (per-row
+            # quantization scale, integer matmul, per-row rescale) depends
+            # only on the row itself, so any row blocking is bit-identical
+            # to the serial pass (the batch-composition invariance already
+            # pinned by tests/test_quant_engine.py).
+            out = scores[rows]
+            block_n = len(out)
+            local = np.arange(block_n) if vote else None
+            for block, alpha in zip(self.blocks, self._alphas):
+                view = encoded[rows, block.start : block.stop]
+                # Per-row query scale: each row's max magnitude maps to the
+                # top of the signed range, so round() can never leave it (no
+                # clip), every row gets full qmax resolution, and a window's
+                # codes — hence its scores — never depend on what else
+                # shares its chunk.
+                magnitude = np.abs(view).max(axis=1).astype(np.float64)
+                magnitude[magnitude <= 0.0] = 1.0
+                quantized = np.round(
+                    np.asarray(view, dtype=np.float64)
+                    * (self._query_max / magnitude)[:, None]
+                ).astype(block.codes.dtype)
+                # dtype= sets the ufunc calculation width: exact integer
+                # accumulation with no persistent wide copy of the class codes.
+                sims = np.matmul(quantized, block.codes, dtype=accumulator)
+                query_norms = np.sqrt(
+                    np.einsum(
+                        "ij,ij->i", quantized, quantized, dtype=np.int64
+                    ).astype(np.float64)
                 )
-            )
-            rescale = block.inv_norms[None, :] / np.maximum(query_norms, _EPS)[:, None]
-            cosine = sims.astype(np.float64) * rescale
-            if rows is not None:
-                winner = np.argmax(cosine, axis=1)
-                scores[rows, block.columns[winner]] += alpha
-            else:
-                scores[:, block.columns] += alpha * cosine
+                rescale = (
+                    block.inv_norms[None, :] / np.maximum(query_norms, _EPS)[:, None]
+                )
+                cosine = sims.astype(np.float64) * rescale
+                if local is not None:
+                    winner = np.argmax(cosine, axis=1)
+                    out[local, block.columns[winner]] += alpha
+                else:
+                    out[:, block.columns] += alpha * cosine
+
+        run_row_blocks(kernel, n, threads=self.score_threads)
         return scores / self._total_alpha
 
 
@@ -466,6 +493,7 @@ def compile_quantized(
     chunk_size=None,
     cache_size: int = 0,
     cache_bytes: int | None = None,
+    score_threads: int | str | None = None,
 ) -> CompiledModel:
     """Compile a fitted model into a quantized integer-domain engine.
 
@@ -499,6 +527,7 @@ def compile_quantized(
         cache_size=cache_size,
         cache_bytes=cache_bytes,
         shared_projection=parts.shared,
+        score_threads=score_threads,
     )
     if precision == "bipolar-packed":
         return PackedBipolarModel(blocks=_packed_blocks_from_learners(parts), **options)

@@ -175,7 +175,8 @@ class AdaptiveModel:
         (re)compile, e.g. ``{"dtype": np.float32, "cache_size": 32}``.
     precision:
         Serving precision of the compiled engine (``"float64"`` /
-        ``"bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"``).  The *model*
+        ``"bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"`` /
+        ``"cascade[-...]"``).  The *model*
         stays full-precision — adaptation updates float class hypervectors —
         and every (re)compile quantizes the updated hypervectors into a
         fresh integer-domain engine, so feedback invalidates and rebuilds
@@ -208,9 +209,10 @@ class AdaptiveModel:
     @staticmethod
     def _validate_precision(precision: str) -> None:
         """Fail at configuration time, not on the first scoring call."""
+        from ..engine.cascade import CASCADE_PRECISIONS
         from ..engine.quant import QUANT_PRECISIONS
 
-        known = ("float64",) + QUANT_PRECISIONS
+        known = ("float64",) + QUANT_PRECISIONS + ("cascade",) + CASCADE_PRECISIONS
         if precision not in known:
             raise ValueError(
                 f"unknown serving precision {precision!r}; available: {known}"

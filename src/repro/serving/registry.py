@@ -420,11 +420,13 @@ class ModelRegistry:
         ``"bipolar-packed"`` / ``"fixed16"`` / ``"fixed8"`` construct the
         integer-domain engines of :mod:`repro.engine.quant` **directly from
         the stored codes, without dequantization** (sign bits and
-        fixed-point codes are read as integers end-to-end), and
+        fixed-point codes are read as integers end-to-end),
+        ``"cascade[-...]"`` builds both tiers of an early-exit
+        :class:`~repro.engine.cascade.CascadeModel` the same way, and
         ``"float64"`` compiles the float engine.  ``compile_options``
-        (``dtype``, ``chunk_size``, ``cache_size``, ``cache_bytes``) are
-        forwarded to the engine constructor and are only valid with a
-        ``precision``.
+        (``dtype``, ``chunk_size``, ``cache_size``, ``cache_bytes``,
+        ``score_threads``; ``threshold`` for cascades) are forwarded to the
+        engine constructor and are only valid with a ``precision``.
         """
         if precision is None:
             if compile_options:
@@ -502,18 +504,71 @@ class ModelRegistry:
         reads only the stored sign bits.  Narrowing (a ``fixed16`` artifact
         at ``precision="fixed8"``) is the one case that requantizes through
         float, since the stored codes cannot represent the narrower format.
+
+        Cascade precisions (``"cascade"`` / ``"cascade-fixed16"`` /
+        ``"cascade-fixed8"`` / ``"cascade-float64"``) load *both* tiers the
+        same way — the packed first tier packs the stored codes' sign bits
+        and an integer second tier reuses the stored codes, neither through
+        float — and accept an extra ``threshold`` compile option.
         """
         from ..engine import compile_model
         from ..engine.quant import QUANT_PRECISIONS
 
         if precision == "float64":
             return compile_model(self._load_model(name, version), **compile_options)
+        if precision == "cascade" or precision.startswith("cascade-"):
+            return self._load_cascade_engine(name, version, precision, compile_options)
         if precision not in QUANT_PRECISIONS:
+            from ..engine.cascade import CASCADE_PRECISIONS
+
             raise RegistryError(
                 f"unknown precision {precision!r}; available: "
-                f"{('float64',) + QUANT_PRECISIONS}"
+                f"{('float64',) + QUANT_PRECISIONS + ('cascade',) + CASCADE_PRECISIONS}"
             )
         return self._load_quantized_engine(name, version, precision, compile_options)
+
+    def _load_cascade_engine(
+        self, name: str, version: int | None, precision: str, compile_options: dict
+    ):
+        """Build a two-tier cascade engine directly from stored arrays.
+
+        Both tiers come from the same artifact with no dequantization: the
+        packed first tier packs the stored representation's sign bits, a
+        fixed-point second tier goes through the usual stored-code reuse
+        rules, and a float64 second tier compiles the reconstructed model.
+        The second tier never encodes (the cascade shares the first tier's
+        encoder), so encoding-cache options apply to the first tier only.
+        """
+        from ..engine import compile_model
+        from ..engine.cascade import (
+            DEFAULT_THRESHOLD,
+            CascadeModel,
+            second_tier_precision,
+        )
+
+        try:
+            second_precision = second_tier_precision(precision)
+        except Exception as error:
+            raise RegistryError(str(error)) from error
+        threshold = compile_options.pop("threshold", DEFAULT_THRESHOLD)
+        # _load_quantized_engine consumes its options dict; hand each tier
+        # its own copy.  The second tier only ever scores pre-encoded rows,
+        # so it gets no encoding cache.
+        second_options = {
+            key: value
+            for key, value in compile_options.items()
+            if key not in ("cache_size", "cache_bytes")
+        }
+        first = self._load_quantized_engine(
+            name, version, "bipolar-packed", dict(compile_options)
+        )
+        if second_precision == "float64":
+            second = compile_model(self._load_model(name, version), **second_options)
+        else:
+            second = self._load_quantized_engine(
+                name, version, second_precision, second_options
+            )
+        return CascadeModel(first=first, second=second, threshold=threshold)
 
     def _load_quantized_engine(
         self, name: str, version: int | None, precision: str, compile_options: dict

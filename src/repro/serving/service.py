@@ -49,11 +49,12 @@ class StreamingService:
         standard-scaled features and live streams arrive raw.
     precision:
         Optional serving precision (``"float64"`` / ``"bipolar-packed"`` /
-        ``"fixed16"`` / ``"fixed8"``).  A raw fitted model is compiled at
-        that precision; an :class:`~repro.serving.adaptation.AdaptiveModel`
-        is switched to it (subsequent feedback recompiles quantized).  An
-        already-compiled engine must match — the service cannot requantize
-        an engine without the source model.
+        ``"fixed16"`` / ``"fixed8"`` / ``"cascade[-...]"``).  A raw fitted
+        model is compiled at that precision; an
+        :class:`~repro.serving.adaptation.AdaptiveModel` is switched to it
+        (subsequent feedback recompiles quantized).  An already-compiled
+        engine must match — the service cannot requantize an engine without
+        the source model.
     """
 
     def __init__(
@@ -98,6 +99,9 @@ class StreamingService:
             scorer.set_precision(precision)
             return scorer
         if isinstance(scorer, CompiledModel):
+            if precision == "cascade":
+                # The bare alias matches the default cascade second tier.
+                precision = "cascade-fixed16"
             if scorer.precision != precision:
                 raise ValueError(
                     f"scorer is already compiled at precision "

@@ -1,0 +1,386 @@
+"""Contracts of the early-exit cascade engine.
+
+Because the cascade makes accuracy a *routing* property, the suite pins
+routing down exactly rather than statistically:
+
+* **Degenerate-threshold exactness** — at ``threshold=-inf`` the cascade is
+  bitwise the packed first tier; at ``threshold=+inf`` it is bitwise the
+  second tier, for every second-tier precision including float64 (whose
+  BLAS matmul is only subset-invariant because the all-rows rerank hands it
+  the original chunk).
+* **Margin-routing properties** (hypothesis) — the rerank set is exactly
+  the rows whose packed top-2 margin is strictly below the threshold:
+  non-reranked rows score bitwise as the packed tier, reranked rows bitwise
+  as the fixed-point second tier (whose scores are batch-composition
+  invariant, so subset rescoring is provably exact), and the routing is
+  invariant to batch composition and chunking.
+* **Calibration** — the chosen threshold meets the requested parity /
+  relative-accuracy target on the calibration data, is monotone
+  nondecreasing in the target, and its reported rerank fraction matches
+  what the threshold actually routes.
+* **Registry round-trip** — ``load(name, precision="cascade-...")`` builds
+  both tiers byte-for-byte from stored codes with float64 dequantization
+  provably never invoked, and the loaded cascade scores bitwise like one
+  compiled from the original model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boosthd import BoostHD
+from repro.engine import (
+    CASCADE_PRECISIONS,
+    CascadeModel,
+    EngineError,
+    FixedPointModel,
+    PackedBipolarModel,
+    compile_model,
+    top2_margin,
+    topk_indices,
+)
+from repro.hdc import pack_signs
+from repro.serving import ModelRegistry
+
+from test_quant_engine import _blob_problem, _forbid_dequantization
+
+pytestmark = pytest.mark.cascade
+
+SECOND_TIERS = ("fixed16", "fixed8", "float64")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return _blob_problem(seed=11, n_features=10)
+
+
+@pytest.fixture(scope="module")
+def fitted(problem):
+    X, y, _, _ = problem
+    return BoostHD(total_dim=480, n_learners=4, epochs=3, seed=1).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def engines(fitted):
+    """One cascade per second tier plus its reference tiers, all float64."""
+    built = {}
+    for second in SECOND_TIERS:
+        built[second] = compile_model(
+            fitted, dtype=np.float64, precision=f"cascade-{second}"
+        )
+    built["packed"] = compile_model(
+        fitted, dtype=np.float64, precision="bipolar-packed"
+    )
+    return built
+
+
+# -------------------------------------------------- degenerate-threshold exactness
+@pytest.mark.parametrize("second", SECOND_TIERS)
+def test_threshold_inf_is_bitwise_second_tier(engines, problem, second):
+    _, _, X_test, _ = problem
+    cascade = engines[second]
+    cascade.threshold = np.inf
+    np.testing.assert_array_equal(
+        cascade.decision_function(X_test),
+        cascade.second.decision_function(X_test),
+    )
+
+
+@pytest.mark.parametrize("second", SECOND_TIERS)
+def test_threshold_neg_inf_is_bitwise_packed_tier(engines, problem, second):
+    _, _, X_test, _ = problem
+    cascade = engines[second]
+    cascade.threshold = -np.inf
+    cascade.stats.reset()
+    np.testing.assert_array_equal(
+        cascade.decision_function(X_test),
+        engines["packed"].decision_function(X_test),
+    )
+    assert cascade.stats.rows_reranked == 0
+    assert cascade.stats.rows_scored == len(X_test)
+
+
+def test_cascade_alias_and_dispatch(fitted):
+    cascade = compile_model(fitted, precision="cascade")
+    assert isinstance(cascade, CascadeModel)
+    assert cascade.precision == "cascade-fixed16"
+    assert isinstance(cascade.first, PackedBipolarModel)
+    assert isinstance(cascade.second, FixedPointModel)
+    assert "cascade" in repr(cascade)
+    assert cascade.class_memory_bytes() == (
+        cascade.first.class_memory_bytes() + cascade.second.class_memory_bytes()
+    )
+    with pytest.raises(EngineError, match="cascade precision"):
+        compile_model(fitted, precision="cascade-int4")
+    with pytest.raises(EngineError, match="threshold"):
+        compile_model(fitted, precision="fixed16", threshold=0.1)
+
+
+def test_mismatched_tiers_are_rejected(fitted):
+    X, y, _, _ = _blob_problem(seed=12, n_features=10)
+    other = BoostHD(total_dim=480, n_learners=4, epochs=3, seed=9).fit(X, y)
+    first = compile_model(fitted, precision="bipolar-packed")
+    with pytest.raises(EngineError, match="different models"):
+        CascadeModel(first=first, second=compile_model(other))
+    with pytest.raises(EngineError, match="first tier"):
+        CascadeModel(first=compile_model(fitted), second=compile_model(fitted))
+    with pytest.raises(EngineError, match="second tier"):
+        CascadeModel(first=first, second=first)
+
+
+# ----------------------------------------------------------- margin routing
+@settings(max_examples=25, deadline=None)
+@given(threshold=st.floats(0.0, 0.2), chunk=st.integers(3, 40))
+def test_rerank_set_is_exactly_below_threshold_rows(threshold, chunk):
+    """Row-for-row routing: >= threshold keeps packed scores bitwise,
+    < threshold gets the fixed second tier's scores bitwise."""
+    X, y, X_test, _ = _blob_problem(seed=13, n_features=10)
+    model = BoostHD(total_dim=480, n_learners=4, epochs=3, seed=1).fit(X, y)
+    cascade = compile_model(
+        model,
+        dtype=np.float64,
+        precision="cascade-fixed16",
+        threshold=threshold,
+        chunk_size=chunk,
+    )
+    packed_scores = cascade.first.decision_function(X_test)
+    second_scores = cascade.second.decision_function(X_test)
+    margins = top2_margin(packed_scores)
+    rerank = margins < threshold
+
+    cascade.stats.reset()
+    produced = cascade.decision_function(X_test)
+    np.testing.assert_array_equal(produced[~rerank], packed_scores[~rerank])
+    np.testing.assert_array_equal(produced[rerank], second_scores[rerank])
+    assert cascade.stats.rows_reranked == int(rerank.sum())
+    assert cascade.stats.rows_scored == len(X_test)
+    assert cascade.stats.rerank_fraction == pytest.approx(rerank.mean())
+
+
+@settings(max_examples=20, deadline=None)
+@given(chunk=st.integers(2, 19), single=st.integers(0, 35))
+def test_cascade_scoring_is_batch_composition_invariant(chunk, single):
+    """A row's cascade scores are identical alone, in any batch, any chunking."""
+    X, y, X_test, _ = _blob_problem(seed=14, n_features=10)
+    model = BoostHD(total_dim=480, n_learners=4, epochs=3, seed=1).fit(X, y)
+    whole = compile_model(model, dtype=np.float64, precision="cascade-fixed16")
+    chunked = compile_model(
+        model, dtype=np.float64, precision="cascade-fixed16", chunk_size=chunk
+    )
+    encoded = whole.encode(X_test)
+    batch_scores = whole.score_encoded(encoded)
+    np.testing.assert_array_equal(chunked.score_encoded(encoded), batch_scores)
+    single %= len(X_test)
+    np.testing.assert_array_equal(
+        whole.score_encoded(encoded[single][None])[0], batch_scores[single]
+    )
+
+
+def test_predictions_match_tiers_rowwise(engines, problem):
+    _, _, X_test, _ = problem
+    cascade = engines["fixed16"]
+    cascade.threshold = 0.05
+    packed_pred = engines["packed"].predict(X_test)
+    second_pred = cascade.second.predict(X_test)
+    margins = top2_margin(engines["packed"].decision_function(X_test))
+    rerank = margins < cascade.threshold
+    produced = cascade.predict(X_test)
+    np.testing.assert_array_equal(produced[~rerank], packed_pred[~rerank])
+    np.testing.assert_array_equal(produced[rerank], second_pred[rerank])
+
+
+# -------------------------------------------------------------- calibration
+def test_calibration_meets_parity_target(engines, problem):
+    _, _, X_test, _ = problem
+    cascade = engines["fixed16"]
+    result = cascade.calibrate_threshold(X_test, target=0.95)
+    assert result.mode == "parity"
+    assert result.achieved >= 0.95 - 1e-9
+    assert cascade.threshold == result.threshold
+    # The reported fraction is what the threshold actually routes.
+    margins = top2_margin(cascade.first.decision_function(X_test))
+    assert result.rerank_fraction == pytest.approx(
+        np.mean(margins < result.threshold)
+    )
+    # And the achieved parity is real: rescore and compare predictions.
+    agreement = np.mean(cascade.predict(X_test) == cascade.second.predict(X_test))
+    assert agreement >= result.achieved - 1e-9
+
+
+def test_calibration_meets_relative_accuracy_target(engines, problem):
+    _, _, X_test, y_test = problem
+    cascade = engines["float64"]
+    result = cascade.calibrate_threshold(X_test, y_test, target=0.99)
+    assert result.mode == "accuracy"
+    second_acc = np.mean(cascade.second.predict(X_test) == y_test)
+    cascade_acc = np.mean(cascade.predict(X_test) == y_test)
+    assert cascade_acc >= 0.99 * second_acc - 1e-9
+    assert result.achieved == pytest.approx(cascade_acc)
+
+
+def test_calibration_is_monotone_in_target(engines, problem):
+    _, _, X_test, _ = problem
+    cascade = engines["fixed16"]
+    thresholds = [
+        cascade.calibrate_threshold(
+            X_test, target=target, set_threshold=False
+        ).threshold
+        for target in (0.0, 0.5, 0.9, 0.99, 1.0)
+    ]
+    assert thresholds == sorted(thresholds)
+    # target=0 never needs reranking; target=1 demands exact parity.
+    assert thresholds[0] == -np.inf
+
+
+def test_calibration_extreme_targets(engines, problem):
+    _, _, X_test, _ = problem
+    cascade = engines["fixed16"]
+    zero = cascade.calibrate_threshold(X_test, target=0.0, set_threshold=False)
+    assert zero.threshold == -np.inf
+    assert zero.rerank_fraction == 0.0
+    full = cascade.calibrate_threshold(X_test, target=1.0, set_threshold=False)
+    assert full.achieved >= 1.0 - 1e-9
+    with pytest.raises(ValueError, match="target"):
+        cascade.calibrate_threshold(X_test, target=1.5)
+    with pytest.raises(ValueError, match="empty"):
+        cascade.calibrate_threshold(X_test[:0])
+
+
+def test_calibration_rejects_unknown_labels(engines, problem):
+    _, _, X_test, y_test = problem
+    with pytest.raises(ValueError, match="not trained"):
+        engines["fixed16"].calibrate_threshold(X_test, np.full(len(X_test), 99))
+    with pytest.raises(ValueError, match="shape"):
+        engines["fixed16"].calibrate_threshold(X_test, y_test[:3])
+
+
+# ------------------------------------------------------------------- top-k
+def test_score_topk_matches_decision_function(engines, problem):
+    _, _, X_test, _ = problem
+    for engine in (engines["packed"], engines["fixed16"]):
+        scores = engine.decision_function(X_test)
+        top_scores, top_labels = engine.score_topk(X_test, k=2)
+        assert top_scores.shape == top_labels.shape == (len(X_test), 2)
+        np.testing.assert_array_equal(top_labels[:, 0], engine.predict(X_test))
+        np.testing.assert_array_equal(top_scores[:, 0], scores.max(axis=1))
+        np.testing.assert_array_equal(
+            top_scores[:, 0] - top_scores[:, 1], top2_margin(scores)
+        )
+        # k = n_classes is a full per-row ranking: every class appears once.
+        full = engine.predict_topk(X_test, k=scores.shape[1])
+        np.testing.assert_array_equal(
+            np.sort(full, axis=1), np.tile(np.sort(engine.classes_), (len(full), 1))
+        )
+
+
+def test_topk_indices_validates():
+    scores = np.array([[0.1, 0.5, 0.2]])
+    np.testing.assert_array_equal(topk_indices(scores, 3)[0], [1, 2, 0])
+    with pytest.raises(ValueError, match="k must be"):
+        topk_indices(scores, 0)
+    with pytest.raises(ValueError, match="k must be"):
+        topk_indices(scores, 4)
+    with pytest.raises(ValueError, match="2-D"):
+        topk_indices(scores[0], 1)
+    # Stable ties: equal scores break toward the lower column.
+    np.testing.assert_array_equal(topk_indices(np.zeros((2, 3)), 2), [[0, 1], [0, 1]])
+
+
+def test_top2_margin_single_class_is_infinite():
+    assert np.all(np.isinf(top2_margin(np.ones((3, 1)))))
+    with pytest.raises(ValueError, match="2-D"):
+        top2_margin(np.ones(3))
+
+
+# ----------------------------------------------------------------- registry
+@pytest.fixture(scope="module")
+def cascade_registry(tmp_path_factory, fitted, problem):
+    registry = ModelRegistry(tmp_path_factory.mktemp("cascade-registry"))
+    registry.save("float-artifact", fitted)
+    registry.save("fixed16-artifact", fitted, quantize="fixed16")
+    return registry
+
+
+def test_registry_cascade_load_without_dequantize(
+    cascade_registry, problem, monkeypatch
+):
+    """Both tiers come byte-for-byte from the stored fixed16 codes."""
+    _, _, X_test, _ = problem
+    _forbid_dequantization(monkeypatch)
+    engine = cascade_registry.load(
+        "fixed16-artifact", precision="cascade-fixed16", threshold=0.04
+    )
+    assert isinstance(engine, CascadeModel)
+    assert engine.threshold == 0.04
+    record = cascade_registry.describe("fixed16-artifact")
+    with np.load(record.path / "model.npz") as archive:
+        for index, (packed, fixed) in enumerate(
+            zip(engine.first.blocks, engine.second.blocks)
+        ):
+            stored = archive[f"learner_{index}_codes"]
+            np.testing.assert_array_equal(packed.packed, pack_signs(stored))
+            assert fixed.codes.dtype == np.int16
+            np.testing.assert_array_equal(fixed.codes.T, stored)
+            assert fixed.scale == float(archive[f"learner_{index}_scale"])
+    assert len(engine.predict(X_test)) == len(X_test)
+
+
+def test_registry_cascade_round_trip_is_bitwise(cascade_registry, fitted, problem):
+    """A float artifact's cascade scores bitwise like a directly compiled one."""
+    _, _, X_test, _ = problem
+    for precision in ("cascade-fixed16", "cascade-float64"):
+        loaded = cascade_registry.load_compiled(
+            "float-artifact", precision=precision, dtype=np.float64, threshold=0.05
+        )
+        reference = compile_model(
+            fitted, dtype=np.float64, precision=precision, threshold=0.05
+        )
+        np.testing.assert_array_equal(
+            loaded.decision_function(X_test), reference.decision_function(X_test)
+        )
+
+
+def test_registry_cascade_unknown_precision(cascade_registry):
+    from repro.serving import RegistryError
+
+    with pytest.raises(RegistryError, match="cascade"):
+        cascade_registry.load("float-artifact", precision="cascade-int4")
+    assert set(CASCADE_PRECISIONS) == {
+        "cascade-fixed16", "cascade-fixed8", "cascade-float64"
+    }
+
+
+# ------------------------------------------------------------------ serving
+def test_streaming_service_serves_cascade(problem, fitted):
+    from repro.serving import StreamingService
+
+    service = StreamingService(
+        fitted, n_channels=2, window_samples=32, precision="cascade-fixed16"
+    )
+    assert isinstance(service.scheduler.scorer, CascadeModel)
+    # Re-using an already-compiled cascade under the bare alias is fine.
+    compiled = compile_model(fitted, precision="cascade")
+    again = StreamingService(
+        compiled, n_channels=2, window_samples=32, precision="cascade"
+    )
+    assert again.scheduler.scorer is compiled
+    with pytest.raises(ValueError, match="requantize"):
+        StreamingService(
+            compiled, n_channels=2, window_samples=32, precision="cascade-fixed8"
+        )
+
+
+def test_micro_batch_scheduler_scores_cascade(problem, fitted):
+    from repro.serving import MicroBatchScheduler
+
+    _, _, X_test, _ = problem
+    cascade = compile_model(fitted, dtype=np.float64, precision="cascade-fixed16")
+    scheduler = MicroBatchScheduler(cascade, max_batch=8)
+    direct = cascade.predict(X_test)
+    for index, row in enumerate(X_test):
+        scheduler.submit("s", index, row)
+    predictions = scheduler.flush()
+    assert len(predictions) == len(X_test)
+    for prediction in predictions:
+        assert prediction.label == direct[prediction.window_index]

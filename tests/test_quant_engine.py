@@ -346,6 +346,72 @@ def test_pad_bits_never_count_as_matches():
         packed_hamming_similarity(pack_signs(ones), pack_signs(ones), 24)
 
 
+@pytest.mark.parametrize("dim", (1, 7, 9, 63, 65, 127, 129, 191))
+def test_pad_bit_semantics_at_word_boundary_widths(dim):
+    """Every dim % 64 != 0 edge around the uint64 word boundaries.
+
+    Opposite sign patterns must score exactly 0 and identical ones exactly 1
+    — any pad-bit leak shows up as a (8*ceil(dim/8) - dim)/dim offset.  The
+    engine's padded-word path (``_pad_packed``) reduces to the same packed
+    bytes, so this parametrization is the direct coverage for the widths the
+    engine tests only hit incidentally.
+    """
+    rng = np.random.default_rng(dim)
+    values = np.where(rng.random((3, dim)) < 0.5, -1.0, 1.0)
+    packed = pack_signs(values)
+    assert packed.shape == (3, (dim + 7) // 8)
+    np.testing.assert_array_equal(
+        np.diagonal(packed_hamming_similarity(packed, packed, dim)),
+        np.ones(3),
+    )
+    np.testing.assert_array_equal(
+        np.diagonal(packed_hamming_similarity(packed, pack_signs(-values), dim)),
+        np.zeros(3),
+    )
+    np.testing.assert_array_equal(
+        packed_hamming_similarity(packed, packed, dim),
+        hamming_similarity(values, values),
+    )
+
+
+@pytest.mark.parametrize("width", (1, 2, 3, 7, 8, 9, 16, 17))
+def test_popcount_rows_lut_path_forced_by_monkeypatch(monkeypatch, width):
+    """popcount_rows on the LUT path == np.bitwise_count path, bit for bit.
+
+    ``_HAS_BITWISE_COUNT`` is monkeypatched off so the parity holds on
+    NumPy >= 2 installs too, where the fallback would otherwise never run;
+    odd widths exercise the trailing-byte gather of the 16-bit table.
+    """
+    import repro.hdc.similarity as similarity_module
+
+    rng = np.random.default_rng(width)
+    words = rng.integers(0, 256, (5, width)).astype(np.uint8)
+    reference = np.unpackbits(words, axis=1).sum(axis=1)
+    monkeypatch.setattr(similarity_module, "_HAS_BITWISE_COUNT", False)
+    produced = popcount_rows(words)
+    assert produced.dtype == np.int64
+    np.testing.assert_array_equal(produced, reference)
+    monkeypatch.setattr(similarity_module, "_HAS_BITWISE_COUNT", True)
+    if hasattr(np, "bitwise_count"):
+        np.testing.assert_array_equal(popcount_rows(words), reference)
+
+
+def test_packed_engine_scores_identically_on_lut_path(
+    fitted_models, mini_wesad_split, monkeypatch
+):
+    """The whole packed engine is popcount-backend independent."""
+    import repro.hdc.similarity as similarity_module
+
+    _, X_test, _, _ = mini_wesad_split
+    engine = compile_model(
+        fitted_models["onlinehd"], dtype=np.float64, precision="bipolar-packed"
+    )
+    encoded = engine.encode(X_test)
+    expected = engine.score_encoded(encoded)
+    monkeypatch.setattr(similarity_module, "_HAS_BITWISE_COUNT", False)
+    np.testing.assert_array_equal(engine.score_encoded(encoded), expected)
+
+
 # ------------------------------------------------------------------ registry
 def _blob_problem(seed=0, n_features=10):
     rng = np.random.default_rng(seed)

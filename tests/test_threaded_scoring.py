@@ -1,0 +1,247 @@
+"""Thread-parallel scoring is bit-identical to serial at any thread count.
+
+Determinism here is *structural*: the integer-domain kernels compute each
+row's scores with exact arithmetic independent of every other row, so the
+contract is not "close enough under threading" but literal bit equality for
+any thread count, any row-block partition and any dim (including dims not
+divisible by the 64-bit packing or the 8-element byte packing).  The suite
+pins:
+
+* hypothesis bit-identity of packed and fixed-point scoring at 1/2/4
+  threads against the single-thread reference, over random batch sizes and
+  deliberately ragged dims;
+* ``REPRO_SCORE_THREADS`` / ``"auto"`` resolution mirroring
+  ``REPRO_MAX_WORKERS``;
+* the serial fallback paths — explicit single thread, empty batches, pool
+  creation failure and pool submit failure — all of which must still score
+  every row exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boosthd import BoostHD
+from repro.engine import compile_model, resolve_score_threads, run_row_blocks
+from repro.engine import threads as threads_module
+from repro.engine.threads import SCORE_THREADS_ENV, row_blocks
+from repro.hdc import OnlineHD
+
+pytestmark = pytest.mark.cascade
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+def _problem(seed=21, n_features=8):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((3, n_features)) * 2.5
+    X = np.vstack([c + rng.standard_normal((30, n_features)) for c in centers])
+    y = np.repeat(np.arange(3), 30)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    X, y = _problem()
+    return {
+        # dims deliberately not divisible by 64 (packed words) or 8 (bytes):
+        # 71-dim learner blocks stress the pad-bit path under every blocking.
+        "boosthd": BoostHD(total_dim=426, n_learners=6, epochs=3, seed=0).fit(X, y),
+        "onlinehd": OnlineHD(dim=333, epochs=3, seed=0).fit(X, y),
+    }
+
+
+# ------------------------------------------------------------ bit identity
+@pytest.mark.parametrize("kind", ("boosthd", "onlinehd"))
+@pytest.mark.parametrize("precision", ("bipolar-packed", "fixed16", "fixed8"))
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_threaded_scoring_bit_identical(fitted, kind, precision, threads):
+    X, _ = _problem()
+    model = fitted[kind]
+    serial = compile_model(model, dtype=np.float64, precision=precision,
+                           score_threads=1)
+    threaded = compile_model(model, dtype=np.float64, precision=precision,
+                             score_threads=threads)
+    encoded = serial.encode(X)
+    np.testing.assert_array_equal(
+        threaded.score_encoded(encoded), serial.score_encoded(encoded)
+    )
+    np.testing.assert_array_equal(threaded.predict(X), serial.predict(X))
+
+
+@pytest.mark.parametrize("threads", (2, 4))
+def test_threaded_vote_aggregation_bit_identical(threads):
+    X, y = _problem(seed=22)
+    model = BoostHD(
+        total_dim=426, n_learners=6, epochs=3, seed=0, aggregation="vote"
+    ).fit(X, y)
+    for precision in ("bipolar-packed", "fixed16"):
+        serial = compile_model(model, dtype=np.float64, precision=precision,
+                               score_threads=1)
+        threaded = compile_model(model, dtype=np.float64, precision=precision,
+                                 score_threads=threads)
+        encoded = serial.encode(X)
+        np.testing.assert_array_equal(
+            threaded.score_encoded(encoded), serial.score_encoded(encoded)
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_rows=st.integers(1, 23),
+    threads=st.integers(1, 8),
+)
+def test_random_shapes_bit_identical(fitted, n_rows, threads):
+    """Batches smaller/larger than the thread count, odd splits, one row."""
+    rng = np.random.default_rng(n_rows * 31 + threads)
+    X = rng.standard_normal((n_rows, 8))
+    model = fitted["boosthd"]
+    serial = compile_model(model, dtype=np.float64, precision="bipolar-packed",
+                           score_threads=1)
+    threaded = compile_model(model, dtype=np.float64, precision="bipolar-packed",
+                             score_threads=threads)
+    encoded = serial.encode(X)
+    np.testing.assert_array_equal(
+        threaded.score_encoded(encoded), serial.score_encoded(encoded)
+    )
+
+
+def test_threaded_cascade_bit_identical(fitted):
+    X, _ = _problem()
+    model = fitted["boosthd"]
+    serial = compile_model(model, dtype=np.float64, precision="cascade-fixed16",
+                           threshold=0.05, score_threads=1)
+    threaded = compile_model(model, dtype=np.float64, precision="cascade-fixed16",
+                             threshold=0.05, score_threads=4)
+    assert threaded.first.score_threads == 4
+    assert threaded.second.score_threads == 4
+    np.testing.assert_array_equal(
+        threaded.decision_function(X), serial.decision_function(X)
+    )
+
+
+# ------------------------------------------------------------- resolution
+def test_resolve_score_threads_mirrors_max_workers(monkeypatch):
+    monkeypatch.delenv(SCORE_THREADS_ENV, raising=False)
+    assert resolve_score_threads(None) == 1      # unset env -> serial
+    assert resolve_score_threads(3) == 3
+    assert resolve_score_threads("5") == 5
+    assert resolve_score_threads(0) == 1         # clamped
+    assert resolve_score_threads(-2) == 1
+    assert resolve_score_threads("auto") >= 1
+    monkeypatch.setenv(SCORE_THREADS_ENV, "6")
+    assert resolve_score_threads(None) == 6
+    assert resolve_score_threads(2) == 2         # explicit beats env
+    monkeypatch.setenv(SCORE_THREADS_ENV, "auto")
+    assert resolve_score_threads(None) == threads_module.available_cpus()
+    monkeypatch.setenv(SCORE_THREADS_ENV, "  ")
+    assert resolve_score_threads(None) == 1      # blank -> serial
+    with pytest.raises(ValueError):
+        resolve_score_threads("not-a-number")
+
+
+def test_env_controls_engine_scoring(fitted, monkeypatch):
+    """score_threads=None engines re-read the env on every scoring call."""
+    X, _ = _problem()
+    model = fitted["boosthd"]
+    engine = compile_model(model, dtype=np.float64, precision="bipolar-packed")
+    assert engine.score_threads is None
+    monkeypatch.setenv(SCORE_THREADS_ENV, "1")
+    serial_scores = engine.decision_function(X)
+    monkeypatch.setenv(SCORE_THREADS_ENV, "4")
+    np.testing.assert_array_equal(engine.decision_function(X), serial_scores)
+
+
+# -------------------------------------------------------------- row blocks
+@settings(max_examples=50, deadline=None)
+@given(n_rows=st.integers(0, 200), n_blocks=st.integers(1, 32))
+def test_row_blocks_partition_every_row_exactly_once(n_rows, n_blocks):
+    blocks = row_blocks(n_rows, n_blocks)
+    assert len(blocks) == (min(n_blocks, n_rows) if n_rows else 0)
+    covered = np.concatenate(
+        [np.arange(b.start, b.stop) for b in blocks]
+    ) if blocks else np.empty(0, dtype=int)
+    np.testing.assert_array_equal(covered, np.arange(n_rows))
+    sizes = [b.stop - b.start for b in blocks]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
+def test_row_blocks_rejects_negative_rows():
+    with pytest.raises(ValueError, match="n_rows"):
+        row_blocks(-1, 2)
+
+
+# ---------------------------------------------------------- fallback paths
+def _record_kernel(n_rows):
+    seen = []
+
+    def kernel(rows):
+        seen.append((rows.start, rows.stop))
+
+    return kernel, seen
+
+
+def test_run_row_blocks_serial_when_one_thread():
+    kernel, seen = _record_kernel(10)
+    assert run_row_blocks(kernel, 10, threads=1) == 1
+    assert seen == [(0, 10)]
+
+
+def test_run_row_blocks_empty_batch_never_calls_kernel():
+    kernel, seen = _record_kernel(0)
+    assert run_row_blocks(kernel, 0, threads=4) == 1
+    assert seen == []
+
+
+def test_run_row_blocks_caps_threads_at_rows():
+    kernel, seen = _record_kernel(3)
+    assert run_row_blocks(kernel, 3, threads=16) == 3
+    assert sorted(seen) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_run_row_blocks_serial_fallback_when_pool_unavailable(monkeypatch):
+    """Pool creation failure degrades to serial — same rows, same order."""
+    monkeypatch.setattr(threads_module, "_score_pool", lambda threads: None)
+    kernel, seen = _record_kernel(10)
+    assert run_row_blocks(kernel, 10, threads=4) == 1
+    assert seen == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+
+def test_run_row_blocks_serial_fallback_on_submit_failure(monkeypatch):
+    """A pool that refuses work mid-submission still runs every block once."""
+
+    class RefusingPool:
+        def __init__(self):
+            self.accepted = 0
+
+        def submit(self, kernel, rows):
+            if self.accepted >= 2:
+                raise RuntimeError("cannot schedule new futures")
+            self.accepted += 1
+            from concurrent.futures import Future
+
+            future = Future()
+            kernel(rows)
+            future.set_result(None)
+            return future
+
+    monkeypatch.setattr(
+        threads_module, "_score_pool", lambda threads: RefusingPool()
+    )
+    kernel, seen = _record_kernel(12)
+    assert run_row_blocks(kernel, 12, threads=4) == 1
+    assert sorted(seen) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+
+def test_pool_failure_scores_bit_identically(fitted, monkeypatch):
+    X, _ = _problem()
+    model = fitted["boosthd"]
+    engine = compile_model(model, dtype=np.float64, precision="fixed16",
+                           score_threads=4)
+    encoded = engine.encode(X)
+    expected = engine.score_encoded(encoded)
+    monkeypatch.setattr(threads_module, "_score_pool", lambda threads: None)
+    np.testing.assert_array_equal(engine.score_encoded(encoded), expected)

@@ -22,6 +22,9 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs import OBS
+from ..obs.metrics import Counter
+
 __all__ = ["CacheStats", "LRUCache", "array_fingerprint"]
 
 
@@ -40,14 +43,59 @@ def array_fingerprint(array: np.ndarray) -> bytes:
 
 
 class CacheStats:
-    """Mutable hit/miss/eviction counters for one cache instance."""
+    """Mutable hit/miss/eviction counters for one cache instance.
 
-    __slots__ = ("hits", "misses", "evictions")
+    Backed by :class:`repro.obs.metrics.Counter` primitives; the historical
+    integer attributes (``hits`` / ``misses`` / ``evictions``) are preserved
+    as properties, so existing readers and the ``__repr__`` are unchanged.
+    When process-wide telemetry is enabled (:data:`repro.obs.OBS`), every
+    event also increments the global ``repro_engine_cache_*_total`` series.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions")
 
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = Counter()
+        self._misses = Counter()
+        self._evictions = Counter()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    def record_hit(self) -> None:
+        self._hits.inc()
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_engine_cache_hits_total", "Encode-cache hits."
+            ).inc()
+
+    def record_miss(self) -> None:
+        self._misses.inc()
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_engine_cache_misses_total", "Encode-cache misses."
+            ).inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_engine_cache_evictions_total", "Encode-cache evictions."
+            ).inc()
+
+    def reset(self) -> None:
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
 
     @property
     def requests(self) -> int:
@@ -103,16 +151,16 @@ class LRUCache:
         """Return the cached array for ``key`` (marking it recent) or None."""
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.record_hit()
         return entry
 
     def _evict_lru(self) -> None:
         _, evicted = self._entries.popitem(last=False)
         self.current_bytes -= evicted.nbytes
-        self.stats.evictions += 1
+        self.stats.record_eviction()
 
     def put(self, key: bytes, value: np.ndarray) -> None:
         """Insert ``value``, evicting least-recently-used entries until it fits."""

@@ -46,10 +46,13 @@ inference surface.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import OBS
+from ..obs.metrics import Counter
 from .compile import CompiledModel, EngineError
 from .quant import PackedBipolarModel, compile_quantized
 
@@ -104,12 +107,31 @@ def top2_margin(scores: np.ndarray) -> np.ndarray:
     return top2[:, 1] - top2[:, 0]
 
 
-@dataclass
 class CascadeStats:
-    """Running rerank accounting, updated by every scored chunk."""
+    """Running rerank accounting, updated by every scored chunk.
 
-    rows_scored: int = 0
-    rows_reranked: int = 0
+    Backed by :class:`repro.obs.metrics.Counter` primitives; the historical
+    ``rows_scored`` / ``rows_reranked`` integer attributes, the constructor
+    signature and the ``__repr__`` of the old dataclass are all preserved.
+    """
+
+    __slots__ = ("_rows_scored", "_rows_reranked")
+
+    def __init__(self, rows_scored: int = 0, rows_reranked: int = 0) -> None:
+        self._rows_scored = Counter()
+        self._rows_reranked = Counter()
+        if rows_scored:
+            self._rows_scored.inc(rows_scored)
+        if rows_reranked:
+            self._rows_reranked.inc(rows_reranked)
+
+    @property
+    def rows_scored(self) -> int:
+        return self._rows_scored.value
+
+    @property
+    def rows_reranked(self) -> int:
+        return self._rows_reranked.value
 
     @property
     def rerank_fraction(self) -> float:
@@ -118,9 +140,28 @@ class CascadeStats:
             return 0.0
         return self.rows_reranked / self.rows_scored
 
+    def record(self, rows: int, reranked: int) -> None:
+        """Account one scored chunk: ``rows`` total, ``reranked`` routed on."""
+        self._rows_scored.inc(rows)
+        self._rows_reranked.inc(reranked)
+
     def reset(self) -> None:
-        self.rows_scored = 0
-        self.rows_reranked = 0
+        self._rows_scored.reset()
+        self._rows_reranked.reset()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CascadeStats):
+            return NotImplemented
+        return (self.rows_scored, self.rows_reranked) == (
+            other.rows_scored,
+            other.rows_reranked,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CascadeStats(rows_scored={self.rows_scored}, "
+            f"rows_reranked={self.rows_reranked})"
+        )
 
 
 @dataclass(frozen=True)
@@ -226,6 +267,8 @@ class CascadeModel(CompiledModel):
 
     # -------------------------------------------------------------- scoring
     def _score_chunk(self, encoded: np.ndarray) -> np.ndarray:
+        if OBS.enabled:
+            return self._score_chunk_observed(encoded)
         scores = self.first._score_chunk(encoded)
         margins = top2_margin(scores)
         rerank = margins < self.threshold
@@ -237,8 +280,49 @@ class CascadeModel(CompiledModel):
             scores = self.second._score_chunk(encoded)
         elif n_rerank:
             scores[rerank] = self.second._score_chunk(encoded[rerank])
-        self.stats.rows_scored += len(scores)
-        self.stats.rows_reranked += n_rerank
+        self.stats.record(len(scores), n_rerank)
+        return scores
+
+    def _score_chunk_observed(self, encoded: np.ndarray) -> np.ndarray:
+        """The same arithmetic as :meth:`_score_chunk` plus tier telemetry.
+
+        Kept as a separate method so the disabled path stays a single
+        attribute read; the computation is identical, so predictions are
+        bit-for-bit the same with telemetry on or off.
+        """
+        metrics = OBS.metrics
+        start = time.perf_counter()
+        scores = self.first._score_chunk(encoded)
+        margins = top2_margin(scores)
+        rerank = margins < self.threshold
+        n_rerank = int(np.count_nonzero(rerank))
+        metrics.histogram(
+            "repro_cascade_tier_seconds",
+            "Per-chunk latency of each cascade tier.",
+            tier="packed",
+        ).observe(time.perf_counter() - start)
+        if n_rerank:
+            start = time.perf_counter()
+            if n_rerank == len(scores):
+                # All rows rerank: hand the second tier the original chunk,
+                # so a +inf-threshold cascade is bitwise the second tier even
+                # when that tier's float matmul is not subset-invariant.
+                scores = self.second._score_chunk(encoded)
+            else:
+                scores[rerank] = self.second._score_chunk(encoded[rerank])
+            metrics.histogram(
+                "repro_cascade_tier_seconds",
+                "Per-chunk latency of each cascade tier.",
+                tier="rerank",
+            ).observe(time.perf_counter() - start)
+        self.stats.record(len(scores), n_rerank)
+        metrics.counter(
+            "repro_cascade_rows_total", "Rows scored by the cascade."
+        ).inc(len(scores))
+        metrics.counter(
+            "repro_cascade_reranked_total",
+            "Rows routed to the cascade's second tier.",
+        ).inc(n_rerank)
         return scores
 
     # ---------------------------------------------------------- calibration

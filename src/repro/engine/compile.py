@@ -34,6 +34,7 @@ partitioners; ``tests/test_engine.py`` holds the equivalence contract.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -42,6 +43,7 @@ import numpy as np
 from ..core.boosthd import BoostHD, effective_alphas
 from ..hdc.encoder import Encoder, SlicedEncoder
 from ..hdc.onlinehd import OnlineHD
+from ..obs import OBS
 from .batching import ChunkSize, iter_batches, resolve_chunk_size
 from .cache import LRUCache, array_fingerprint
 
@@ -267,8 +269,48 @@ class CompiledModel:
             itemsize=self.dtype.itemsize,
         )
         scores = np.empty((len(X), len(self.classes_)), dtype=np.float64)
+        if OBS.enabled:
+            return self._decision_function_observed(X, chunk_size, scores)
         for rows in iter_batches(len(X), chunk_size):
             scores[rows] = self._score_chunk(self._encode_chunk(X[rows]))
+        return scores
+
+    def _decision_function_observed(
+        self, X: np.ndarray, chunk_size: int, scores: np.ndarray
+    ) -> np.ndarray:
+        """The :meth:`decision_function` loop plus telemetry.
+
+        Identical arithmetic on identical chunk boundaries, so scores are
+        bit-for-bit the same with telemetry on or off; only counters,
+        a chunk-latency histogram and an ``engine.score`` span are added.
+        """
+        # Instrument lookups cost ~1us each; bind them once per live registry
+        # (the cache invalidates when a new capture() swaps the registry).
+        instruments = getattr(self, "_obs_instruments", None)
+        if instruments is None or instruments[0] is not OBS.metrics:
+            metrics = OBS.metrics
+            instruments = self._obs_instruments = (
+                metrics,
+                metrics.counter(
+                    "repro_engine_rows_scored_total",
+                    "Rows scored through fused engines.",
+                    precision=self.precision,
+                ),
+                metrics.histogram(
+                    "repro_engine_chunk_seconds",
+                    "Per-chunk encode+score latency.",
+                    precision=self.precision,
+                ),
+            )
+        _, rows_scored, chunk_seconds = instruments
+        rows_scored.inc(len(X))
+        with OBS.recorder.span(
+            "engine.score", rows=len(X), precision=self.precision
+        ):
+            for rows in iter_batches(len(X), chunk_size):
+                start = time.perf_counter()
+                scores[rows] = self._score_chunk(self._encode_chunk(X[rows]))
+                chunk_seconds.observe(time.perf_counter() - start)
         return scores
 
     def score_encoded(self, encoded: np.ndarray) -> np.ndarray:
@@ -540,6 +582,47 @@ def compile_model(
         If the model is unfitted, of an unsupported type, or uses an encoder
         without projection parameters (e.g. ``LevelIdEncoder``).
     """
+    if not OBS.enabled:
+        return _compile_model(
+            model,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            precision=precision,
+            score_threads=score_threads,
+            **cascade_options,
+        )
+    with OBS.recorder.span("engine.compile", precision=precision):
+        engine = _compile_model(
+            model,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            precision=precision,
+            score_threads=score_threads,
+            **cascade_options,
+        )
+    OBS.metrics.counter(
+        "repro_engine_compiles_total",
+        "Engines built through compile_model.",
+        precision=engine.precision,
+    ).inc()
+    return engine
+
+
+def _compile_model(
+    model: BoostHD | OnlineHD,
+    *,
+    dtype: np.dtype | type | str,
+    chunk_size: ChunkSize,
+    cache_size: int,
+    cache_bytes: int | None,
+    precision: str,
+    score_threads: int | str | None,
+    **cascade_options,
+) -> CompiledModel:
     if precision == "cascade" or precision.startswith("cascade-"):
         from .cascade import compile_cascade
 

@@ -34,6 +34,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
+from ..obs import OBS
+
 __all__ = [
     "available_cpus",
     "resolve_score_threads",
@@ -146,12 +148,14 @@ def run_row_blocks(
     usable = min(resolved, n_rows)
     if usable <= 1:
         kernel(slice(0, n_rows))
+        _record_blocks(1)
         return 1
     blocks = row_blocks(n_rows, usable)
     pool = _score_pool(usable)
     if pool is None:
         for rows in blocks:
             kernel(rows)
+        _record_blocks(1, fallback=True)
         return 1
     futures = []
     try:
@@ -165,7 +169,24 @@ def run_row_blocks(
             future.result()
         for rows in blocks[len(futures) :]:
             kernel(rows)
+        _record_blocks(1, fallback=True)
         return 1
     for future in futures:
         future.result()
+    _record_blocks(len(blocks))
     return len(blocks)
+
+
+def _record_blocks(n_blocks: int, *, fallback: bool = False) -> None:
+    """Telemetry for one :func:`run_row_blocks` call (no-op when obs is off)."""
+    if not OBS.enabled:
+        return
+    OBS.metrics.counter(
+        "repro_threads_row_blocks_total",
+        "Row blocks executed by the scoring thread pool (1 per serial call).",
+    ).inc(n_blocks)
+    if fallback:
+        OBS.metrics.counter(
+            "repro_threads_serial_fallbacks_total",
+            "Threaded scoring requests that fell back to serial execution.",
+        ).inc()

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import OBS
 from .executor import get_shared
 
 if TYPE_CHECKING:  # runtime imports are lazy to avoid a package cycle
@@ -150,11 +151,14 @@ def execute_cell(
     from ..experiments.registry import build_model
 
     start = time.perf_counter()
-    model = build_model(task.model, task.seed, scale)
-    sample = single_run(
-        model, split, engine=engine, engine_cache_size=engine_cache_size
-    )
-    return CellResult(
+    with OBS.recorder.span(
+        "runtime.cell", dataset=task.dataset, model=task.model, run=task.run_index
+    ):
+        model = build_model(task.model, task.seed, scale)
+        sample = single_run(
+            model, split, engine=engine, engine_cache_size=engine_cache_size
+        )
+    result = CellResult(
         dataset=task.dataset,
         model=task.model,
         run_index=task.run_index,
@@ -169,6 +173,16 @@ def execute_cell(
         wall_seconds=time.perf_counter() - start,
         worker=os.getpid(),
     )
+    if OBS.enabled:
+        OBS.metrics.counter(
+            "repro_runtime_cells_total",
+            "Grid cells computed by the runtime.",
+            model=task.model,
+        ).inc()
+        OBS.metrics.histogram(
+            "repro_runtime_cell_seconds", "Wall time per computed grid cell."
+        ).observe(result.wall_seconds)
+    return result
 
 
 # --------------------------------------------------------------------------

@@ -30,11 +30,14 @@ import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
+from ..obs import OBS, scoped_registry
+from ..obs.metrics import MetricsRegistry
 from .report import RunReport
 from .seeding import dataset_seeds
 
@@ -212,6 +215,7 @@ def _init_cell_worker(
     scale: "ExperimentScale",
     engine: bool,
     engine_cache_size: int,
+    obs_enabled: bool = False,
 ) -> None:
     global _CELL_CONTEXT
     _CELL_CONTEXT = {
@@ -221,6 +225,15 @@ def _init_cell_worker(
         "engine_cache_size": engine_cache_size,
         "splits": {},
     }
+    if obs_enabled:
+        # Worker processes inherit the parent's telemetry decision: each gets
+        # a *fresh* registry/recorder whose deltas ride back with the results.
+        # Fresh matters under fork: the child would otherwise inherit the
+        # parent's accumulated counts and ship them again as its first delta.
+        from ..obs import enable
+        from ..obs.trace import SpanRecorder
+
+        enable(MetricsRegistry(), SpanRecorder())
 
 
 def _context_split(name: str) -> Split:
@@ -243,6 +256,21 @@ def _run_cell_chunk(tasks: Sequence["CellTask"]) -> list["CellResult"]:
         )
         for task in tasks
     ]
+
+
+def _run_cell_chunk_observed(
+    tasks: Sequence["CellTask"],
+) -> tuple[list["CellResult"], dict, list]:
+    """Run a chunk and ship the worker's telemetry deltas with the results.
+
+    The worker registry snapshot is taken with ``reset=True`` so consecutive
+    chunks produce *deltas*: deltas from any partition of the cells, merged
+    in any order, equal the serial run's registry (counters exactly).
+    """
+    results = _run_cell_chunk(tasks)
+    snapshot = OBS.metrics.snapshot(reset=True)
+    spans = OBS.recorder.drain()
+    return results, snapshot, spans
 
 
 def _cell_spec(
@@ -324,14 +352,21 @@ class ParallelExecutor:
             else:
                 pending.append(cell)
 
+        obs_on = OBS.enabled
+        run_registry = MetricsRegistry() if obs_on else None
+
         if self.max_workers <= 1 or len(pending) <= 1:
             _init_cell_worker(source, plan.scale, engine, engine_cache_size)
             try:
-                for cell in pending:
-                    result = _run_cell_chunk([cell])[0]
-                    if store is not None:
-                        store.save(specs[cell], result)
-                    results[cell] = result
+                # The serial path mirrors what workers do naturally: cells
+                # record into a run-local registry whose snapshot becomes the
+                # report's `metrics` (and merges into the parent afterwards).
+                with scoped_registry(run_registry) if obs_on else nullcontext():
+                    for cell in pending:
+                        result = _run_cell_chunk([cell])[0]
+                        if store is not None:
+                            store.save(specs[cell], result)
+                        results[cell] = result
             finally:
                 global _CELL_CONTEXT
                 _CELL_CONTEXT = None
@@ -349,13 +384,21 @@ class ParallelExecutor:
             with ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_cell_worker,
-                initargs=(source, plan.scale, engine, engine_cache_size),
+                initargs=(source, plan.scale, engine, engine_cache_size, obs_on),
             ) as pool:
-                futures = [pool.submit(_run_cell_chunk, chunk) for chunk in chunks]
+                runner = _run_cell_chunk_observed if obs_on else _run_cell_chunk
+                futures = [pool.submit(runner, chunk) for chunk in chunks]
                 for future in as_completed(futures):
+                    payload = future.result()
+                    if obs_on:
+                        chunk_results, snapshot, spans = payload
+                        run_registry.merge(snapshot)
+                        OBS.recorder.extend(spans)
+                    else:
+                        chunk_results = payload
                     # Checkpoint as chunks land so an interrupt loses at most
                     # the in-flight chunks, never completed ones.
-                    for result in future.result():
+                    for result in chunk_results:
                         cell = by_coordinates[
                             (result.dataset, result.model, result.run_index)
                         ]
@@ -364,8 +407,17 @@ class ParallelExecutor:
                         results[cell] = result
 
         elapsed = time.perf_counter() - start
+        metrics_snapshot = None
+        if obs_on:
+            metrics_snapshot = run_registry.snapshot()
+            # Fold the run's telemetry into the process-wide registry so the
+            # suite run shows up on the parent's /metrics like everything else.
+            OBS.metrics.merge(metrics_snapshot)
         ordered = [results[cell] for cell in plan.cells]
         report = RunReport.from_results(
-            ordered, total_seconds=elapsed, max_workers=self.max_workers
+            ordered,
+            total_seconds=elapsed,
+            max_workers=self.max_workers,
+            metrics=metrics_snapshot,
         )
         return ordered, report

@@ -8,8 +8,11 @@ artifact store instead of recomputed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..obs.metrics import merge_snapshots
 
 if TYPE_CHECKING:
     from .cells import CellResult
@@ -35,11 +38,19 @@ class CellStats:
 
 @dataclass(frozen=True)
 class RunReport:
-    """Wall-clock and utilization summary of one executed grid."""
+    """Wall-clock and utilization summary of one executed grid.
+
+    ``metrics`` optionally carries the run's merged telemetry — the
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` folded from every
+    worker registry (or the serial run's scoped registry) — so suite-scale
+    runs persist their counters and latency histograms next to the artifact
+    store via :meth:`to_json`.
+    """
 
     total_seconds: float
     max_workers: int
     cells: tuple[CellStats, ...]
+    metrics: dict | None = field(default=None)
 
     @classmethod
     def from_results(
@@ -48,6 +59,7 @@ class RunReport:
         *,
         total_seconds: float,
         max_workers: int,
+        metrics: dict | None = None,
     ) -> "RunReport":
         cells = tuple(
             CellStats(
@@ -64,6 +76,47 @@ class RunReport:
             total_seconds=float(total_seconds),
             max_workers=max(1, int(max_workers)),
             cells=cells,
+            metrics=metrics,
+        )
+
+    # ---------------------------------------------------------- serialization
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The report as a JSON document (inverse: :meth:`from_json`).
+
+        Every field — including the ``metrics`` snapshot, which is
+        JSON-native by construction — round-trips exactly:
+        ``RunReport.from_json(report.to_json()) == report``.
+        """
+        payload = {
+            "total_seconds": self.total_seconds,
+            "max_workers": self.max_workers,
+            "cells": [asdict(cell) for cell in self.cells],
+            "metrics": self.metrics,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report serialized by :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("RunReport JSON must decode to an object")
+        cells = tuple(
+            CellStats(
+                dataset=str(cell["dataset"]),
+                model=str(cell["model"]),
+                run_index=int(cell["run_index"]),
+                wall_seconds=float(cell["wall_seconds"]),
+                worker=int(cell["worker"]),
+                cached=bool(cell["cached"]),
+            )
+            for cell in payload.get("cells", [])
+        )
+        return cls(
+            total_seconds=float(payload["total_seconds"]),
+            max_workers=int(payload["max_workers"]),
+            cells=cells,
+            metrics=payload.get("metrics"),
         )
 
     # ------------------------------------------------------------- statistics
@@ -137,13 +190,20 @@ class RunReport:
 
 
 def merge_reports(reports: Sequence[RunReport]) -> RunReport:
-    """Combine sequential reports (e.g. an interrupted run plus its resume)."""
+    """Combine sequential reports (e.g. an interrupted run plus its resume).
+
+    Telemetry snapshots fold with :func:`repro.obs.metrics.merge_snapshots`
+    (associative and commutative), so merged reports aggregate counters and
+    histograms exactly; reports without metrics contribute nothing.
+    """
     if not reports:
         return RunReport(total_seconds=0.0, max_workers=1, cells=())
+    snapshots = [report.metrics for report in reports if report.metrics is not None]
     return RunReport(
         total_seconds=float(sum(report.total_seconds for report in reports)),
         max_workers=max(report.max_workers for report in reports),
         cells=tuple(cell for report in reports for cell in report.cells),
+        metrics=merge_snapshots(snapshots) if snapshots else None,
     )
 
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.boosthd import BoostHD
 from ..hdc.onlinehd import OnlineHD
+from ..obs import OBS
 
 __all__ = ["DriftMonitor", "AdaptiveModel"]
 
@@ -204,6 +205,7 @@ class AdaptiveModel:
         self._compiled = None
         self.recompiles = 0
         self.feedback_samples = 0
+        self._drift_flagged = False
 
     # ------------------------------------------------------------ the engine
     @staticmethod
@@ -243,6 +245,11 @@ class AdaptiveModel:
 
             self._compiled = compile_model(self.model, **self.compile_options)
             self.recompiles += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_serving_recompiles_total",
+                    "Engine (re)builds by adaptive serving models.",
+                ).inc()
         return self._compiled
 
     @property
@@ -254,6 +261,14 @@ class AdaptiveModel:
         """Fused per-class scores; every call also feeds the drift monitor."""
         scores = self.compiled.decision_function(X)
         self.monitor.update(scores)
+        if OBS.enabled:
+            drifted = self.monitor.drifted
+            if drifted and not self._drift_flagged:
+                OBS.metrics.counter(
+                    "repro_serving_drift_events_total",
+                    "Drift-monitor transitions into the drifted state.",
+                ).inc()
+            self._drift_flagged = drifted
         return scores
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -281,7 +296,18 @@ class AdaptiveModel:
         normal.
         """
         X = np.asarray(X, dtype=np.float64)
-        self.model.partial_fit(X, y)
+        with OBS.recorder.span("serving.feedback", samples=len(X)):
+            self.model.partial_fit(X, y)
         self.feedback_samples += len(X)
         self._compiled = None
         self.monitor.reset_baseline()
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter(
+                "repro_serving_feedback_batches_total",
+                "Labeled feedback batches applied to served models.",
+            ).inc()
+            metrics.counter(
+                "repro_serving_feedback_samples_total",
+                "Labeled feedback samples applied to served models.",
+            ).inc(len(X))

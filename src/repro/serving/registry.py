@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -46,6 +47,7 @@ import numpy as np
 
 from ..core.boosthd import BoostHD
 from ..engine.compile import _shared_root, assemble_projection
+from ..obs import OBS
 from ..hdc.encoder import Encoder, NonlinearEncoder, SlicedEncoder
 from ..hdc.quantize import (
     SCHEME_BITS,
@@ -259,6 +261,23 @@ class ModelRegistry:
         manifest; ``quantize`` selects the fixed-point hypervector format
         (``None`` keeps exact float64).
         """
+        if not OBS.enabled:
+            return self._save(name, model, metadata=metadata, quantize=quantize)
+        with OBS.recorder.span("registry.save", model=name):
+            start = time.perf_counter()
+            version = self._save(name, model, metadata=metadata, quantize=quantize)
+            seconds = time.perf_counter() - start
+        self._record_artifact_io("save", name, version, seconds)
+        return version
+
+    def _save(
+        self,
+        name: str,
+        model: BoostHD | OnlineHD,
+        *,
+        metadata: dict | None = None,
+        quantize: str | None = None,
+    ) -> int:
         if quantize is not None and quantize not in _QUANTIZE_BITS:
             raise RegistryError(
                 f"unknown quantize scheme {quantize!r}; "
@@ -437,7 +456,40 @@ class ModelRegistry:
             return self._load_model(name, version)
         return self.load_compiled(name, version, precision=precision, **compile_options)
 
+    def _record_artifact_io(
+        self, op: str, name: str, version: int | None, seconds: float
+    ) -> None:
+        """Account one save/load: op count, duration histogram, artifact bytes."""
+        resolved = self.latest(name) if version is None else int(version)
+        path = self.root / name / f"v{resolved}"
+        nbytes = sum(
+            entry.stat().st_size for entry in path.iterdir() if entry.is_file()
+        )
+        metrics = OBS.metrics
+        metrics.counter(
+            f"repro_registry_{op}s_total", f"Registry artifact {op} operations."
+        ).inc()
+        metrics.histogram(
+            f"repro_registry_{op}_seconds", f"Registry artifact {op} duration."
+        ).observe(seconds)
+        metrics.counter(
+            f"repro_registry_{op}_bytes_total",
+            f"Artifact bytes touched by registry {op} operations.",
+        ).inc(nbytes)
+
     def _load_model(self, name: str, version: int | None = None) -> BoostHD | OnlineHD:
+        if not OBS.enabled:
+            return self._load_model_exact(name, version)
+        with OBS.recorder.span("registry.load", model=name, form="model"):
+            start = time.perf_counter()
+            model = self._load_model_exact(name, version)
+            seconds = time.perf_counter() - start
+        self._record_artifact_io("load", name, version, seconds)
+        return model
+
+    def _load_model_exact(
+        self, name: str, version: int | None = None
+    ) -> BoostHD | OnlineHD:
         record = self.describe(name, version)
         meta = json.loads((record.path / "meta.json").read_text())
         with np.load(record.path / "model.npz") as archive:
@@ -571,6 +623,22 @@ class ModelRegistry:
         return CascadeModel(first=first, second=second, threshold=threshold)
 
     def _load_quantized_engine(
+        self, name: str, version: int | None, precision: str, compile_options: dict
+    ):
+        if not OBS.enabled:
+            return self._load_quantized_engine_exact(
+                name, version, precision, compile_options
+            )
+        with OBS.recorder.span("registry.load", model=name, form=precision):
+            start = time.perf_counter()
+            engine = self._load_quantized_engine_exact(
+                name, version, precision, compile_options
+            )
+            seconds = time.perf_counter() - start
+        self._record_artifact_io("load", name, version, seconds)
+        return engine
+
+    def _load_quantized_engine_exact(
         self, name: str, version: int | None, precision: str, compile_options: dict
     ):
         """Build a quantized engine directly from stored arrays.

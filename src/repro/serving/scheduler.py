@@ -31,6 +31,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import OBS
+from ..obs.metrics import Counter, Histogram
+
 __all__ = ["Prediction", "SchedulerStats", "MicroBatchScheduler"]
 
 
@@ -66,15 +69,46 @@ class SchedulerStats:
     bounded window of the most recent ``latency_window`` observations so a
     long-running service's stats stay O(1) in memory — percentiles therefore
     describe *recent* latency, which is what an operator watches anyway.
+
+    Counts and summed scoring time are :class:`repro.obs.metrics.Counter`
+    primitives behind the historical attribute names; percentiles come from
+    a fixed log-bucket :class:`repro.obs.metrics.Histogram` (bounded memory,
+    provable relative-error bound) instead of ``np.percentile`` over the
+    deque.  The raw ``latencies`` deque is still kept for callers that want
+    exact recent samples.
     """
 
     def __init__(self, *, latency_window: int = 8192) -> None:
         if latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {latency_window}")
-        self.windows_scored = 0
-        self.batches = 0
-        self.total_score_seconds = 0.0
+        self._windows_scored = Counter()
+        self._batches = Counter()
+        self._total_score_seconds = Counter()
+        self.latency_histogram = Histogram()
         self.latencies: deque[float] = deque(maxlen=int(latency_window))
+
+    @property
+    def windows_scored(self) -> int:
+        return self._windows_scored.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def total_score_seconds(self) -> float:
+        return self._total_score_seconds.value
+
+    def record_latency(self, seconds: float) -> None:
+        """Account one window's end-to-end latency (queue wait + fused call)."""
+        self.latencies.append(seconds)
+        self.latency_histogram.observe(seconds)
+
+    def record_batch(self, batch_size: int, score_seconds: float) -> None:
+        """Account one released fused call of ``batch_size`` windows."""
+        self._windows_scored.inc(batch_size)
+        self._batches.inc()
+        self._total_score_seconds.inc(float(score_seconds))
 
     @property
     def mean_batch_size(self) -> float:
@@ -82,9 +116,9 @@ class SchedulerStats:
 
     def latency_percentile(self, percentile: float) -> float:
         """Recent per-window end-to-end latency percentile (e.g. 50, 99), seconds."""
-        if not self.latencies:
+        if not self.latency_histogram.count:
             return 0.0
-        return float(np.percentile(self.latencies, percentile))
+        return self.latency_histogram.percentile(percentile)
 
     def __repr__(self) -> str:
         return (
@@ -147,6 +181,11 @@ class MicroBatchScheduler:
         self.clock = clock
         self.stats = SchedulerStats()
         self._queue: list[_PendingWindow] = []
+        #: Cached (registry, *instruments) for the observed path, refreshed
+        #: whenever the live registry changes (e.g. a new ``capture()``):
+        #: instrument lookups cost ~1us each, far more than the batch's
+        #: actual counter/histogram updates.
+        self._obs_instruments: tuple | None = None
 
     # ------------------------------------------------------------ inspection
     @property
@@ -177,9 +216,10 @@ class MicroBatchScheduler:
     def _score_batch(self, batch: list[_PendingWindow]) -> list[Prediction]:
         released_at = self.clock()
         features = np.stack([pending.features for pending in batch])
-        start = self.clock()
-        scores = self.scorer.decision_function(features)
-        score_seconds = self.clock() - start
+        with OBS.recorder.span("scheduler.batch", windows=len(batch)):
+            start = self.clock()
+            scores = self.scorer.decision_function(features)
+            score_seconds = self.clock() - start
         labels = self.scorer.classes_[np.argmax(scores, axis=1)]
 
         predictions = []
@@ -194,11 +234,50 @@ class MicroBatchScheduler:
                 batch_size=len(batch),
             )
             predictions.append(prediction)
-            self.stats.latencies.append(prediction.latency_seconds)
-        self.stats.windows_scored += len(batch)
-        self.stats.batches += 1
-        self.stats.total_score_seconds += score_seconds
+            self.stats.record_latency(prediction.latency_seconds)
+        self.stats.record_batch(len(batch), score_seconds)
+        if OBS.enabled:
+            instruments = self._obs_instruments
+            if instruments is None or instruments[0] is not OBS.metrics:
+                instruments = self._obs_instruments = self._bind_instruments()
+            _, windows, batches, batch_size, score_latency, queue_latency = instruments
+            windows.inc(len(batch))
+            batches.inc()
+            batch_size.observe(len(batch))
+            score_latency.observe(score_seconds)
+            queue_latency.observe_many(
+                released_at - pending.enqueued_at for pending in batch
+            )
         return predictions
+
+    def _bind_instruments(self) -> tuple:
+        """Resolve the scheduler's instruments against the live registry."""
+        metrics = OBS.metrics
+        return (
+            metrics,
+            metrics.counter(
+                "repro_scheduler_windows_total",
+                "Windows scored through the micro-batch scheduler.",
+            ),
+            metrics.counter(
+                "repro_scheduler_batches_total",
+                "Fused scoring calls released by the scheduler.",
+            ),
+            metrics.histogram(
+                "repro_scheduler_batch_size",
+                "Windows coalesced per fused call.",
+                lo=1.0,
+                hi=100000.0,
+            ),
+            metrics.histogram(
+                "repro_scheduler_score_seconds",
+                "Fused-call duration per released batch.",
+            ),
+            metrics.histogram(
+                "repro_scheduler_queue_seconds",
+                "Per-window wait between submit and batch release.",
+            ),
+        )
 
     def flush(self) -> list[Prediction]:
         """Score everything pending (in fused calls of at most ``max_batch``)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import OBS
 from .scheduler import MicroBatchScheduler, Prediction
 from .session import StreamSession
 
@@ -128,14 +129,33 @@ class StreamingService:
         options.update(overrides)
         session = StreamSession(session_id, **options)
         self.sessions[session_id] = session
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_serving_sessions_opened_total",
+                "Stream sessions registered with the service.",
+            ).inc()
+            OBS.metrics.gauge(
+                "repro_serving_open_sessions",
+                "Currently registered stream sessions.",
+            ).set(len(self.sessions))
         return session
 
     def close_session(self, session_id: str) -> StreamSession:
         """Deregister a subject (pending submitted windows still get scored)."""
         try:
-            return self.sessions.pop(session_id)
+            session = self.sessions.pop(session_id)
         except KeyError:
             raise KeyError(f"no open session {session_id!r}") from None
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_serving_sessions_closed_total",
+                "Stream sessions deregistered from the service.",
+            ).inc()
+            OBS.metrics.gauge(
+                "repro_serving_open_sessions",
+                "Currently registered stream sessions.",
+            ).set(len(self.sessions))
+        return session
 
     def push(self, session_id: str, samples: np.ndarray) -> list[Prediction]:
         """Feed raw samples for one subject; return newly released predictions.

@@ -137,6 +137,81 @@ class CompiledModel:
         shared_projection: bool = False,
         score_threads: int | str | None = None,
     ) -> None:
+        dtype = np.dtype(dtype)
+        basis = np.asarray(basis)
+        bias = np.asarray(bias)
+        self._setup(
+            # Half-angle fusion: encode(X) = 0.5*(sin(X @ (2B)^T + b) - sin(b)).
+            basis2=np.ascontiguousarray((2.0 * basis).T, dtype=dtype),
+            bias=bias.astype(dtype),
+            sin_bias=np.sin(bias).astype(dtype),
+            blocks=blocks,
+            classes=classes,
+            aggregation=aggregation,
+            dtype=dtype,
+            chunk_size=chunk_size,
+            cache_size=cache_size,
+            cache_bytes=cache_bytes,
+            shared_projection=shared_projection,
+            score_threads=score_threads,
+        )
+
+    @classmethod
+    def from_prepared(
+        cls,
+        *,
+        basis2: np.ndarray,
+        bias: np.ndarray,
+        sin_bias: np.ndarray,
+        **options,
+    ) -> "CompiledModel":
+        """Build an engine over already-derived arrays, without copying them.
+
+        ``basis2`` is the pre-doubled, pre-transposed ``(in_features,
+        D_total)`` projection exactly as :attr:`_basis2` stores it, ``bias``
+        / ``sin_bias`` the phase bias and its precomputed sine in the
+        engine dtype.  The arrays are adopted as-is (no ``ascontiguousarray``
+        / ``astype`` pass), which is what lets :mod:`repro.serving.shm`
+        construct engines directly over ``multiprocessing.shared_memory``
+        buffers with zero per-worker copies.  Remaining keyword ``options``
+        are the block/class/aggregation arguments of the regular
+        constructor.  Callers are responsible for array layout; shapes and
+        dtypes are still validated.
+        """
+        basis2 = np.asarray(basis2)
+        bias = np.asarray(bias)
+        sin_bias = np.asarray(sin_bias)
+        if basis2.ndim != 2:
+            raise EngineError(
+                f"basis2 must be the (in_features, D_total) transposed "
+                f"projection, got ndim={basis2.ndim}"
+            )
+        if bias.shape != (basis2.shape[1],) or sin_bias.shape != bias.shape:
+            raise EngineError(
+                f"bias/sin_bias of shape {bias.shape}/{sin_bias.shape} do not "
+                f"match D_total={basis2.shape[1]}"
+            )
+        self = cls.__new__(cls)
+        self._setup(basis2=basis2, bias=bias, sin_bias=sin_bias, **options)
+        return self
+
+    def _setup(
+        self,
+        *,
+        basis2: np.ndarray,
+        bias: np.ndarray,
+        sin_bias: np.ndarray,
+        blocks: Sequence[LearnerBlock],
+        classes: np.ndarray,
+        aggregation: str,
+        dtype: np.dtype,
+        chunk_size: ChunkSize = None,
+        cache_size: int = 0,
+        cache_bytes: int | None = None,
+        shared_projection: bool = False,
+        score_threads: int | str | None = None,
+    ) -> None:
+        """Shared field initialisation of ``__init__`` and :meth:`from_prepared`."""
         if aggregation not in ("vote", "score"):
             raise EngineError(f"unsupported aggregation {aggregation!r}")
         self.dtype = np.dtype(dtype)
@@ -150,13 +225,12 @@ class CompiledModel:
         # invariance, so only the exact integer kernels thread.
         self.score_threads = score_threads
         self.blocks = tuple(blocks)
-        self.in_features = int(basis.shape[1])
-        self.total_dim = int(basis.shape[0])
+        self.in_features = int(basis2.shape[0])
+        self.total_dim = int(basis2.shape[1])
 
-        # Half-angle fusion: encode(X) = 0.5 * (sin(X @ (2B)^T + b) - sin(b)).
-        self._basis2 = np.ascontiguousarray((2.0 * basis).T, dtype=self.dtype)
-        self._bias = bias.astype(self.dtype)
-        self._sin_bias = np.sin(bias).astype(self.dtype)
+        self._basis2 = basis2
+        self._bias = bias
+        self._sin_bias = sin_bias
 
         alphas = np.asarray([block.alpha for block in self.blocks], dtype=float)
         self._alphas, self._total_alpha = effective_alphas(alphas)

@@ -68,7 +68,9 @@ __all__ = [
     "QUANT_PRECISIONS",
     "compile_quantized",
     "fixed_block",
+    "fixed_block_from_codes",
     "packed_block",
+    "packed_block_from_words",
 ]
 
 #: Quantized precisions understood by ``compile_model(..., precision=...)``
@@ -165,6 +167,87 @@ def packed_block(
         alpha=float(alpha),
         columns=np.asarray(columns),
         words=_pad_packed(packed_rows),
+    )
+
+
+def packed_block_from_words(
+    start: int,
+    stop: int,
+    alpha: float,
+    columns: np.ndarray,
+    words: np.ndarray,
+) -> PackedBlock:
+    """Build a :class:`PackedBlock` over already-padded ``uint64`` sign words.
+
+    The zero-copy sibling of :func:`packed_block`: ``words`` must be exactly
+    the ``(n_classes, ceil(dim / 64))`` padded representation that
+    :attr:`PackedBlock.words` stores, and is adopted as-is — no re-pack, no
+    copy.  This is the construction path :mod:`repro.serving.shm` uses to
+    build engines directly over shared-memory buffers.
+    """
+    words = np.asarray(words)
+    if words.ndim != 2 or words.dtype != np.dtype(np.uint64):
+        raise EngineError(
+            f"padded sign words must be a 2-D uint64 array, got "
+            f"ndim={words.ndim} dtype={words.dtype}"
+        )
+    expected = -(-(stop - start) // 64)
+    if words.shape[1] != expected:
+        raise EngineError(
+            f"padded rows are {words.shape[1]} words wide but the block spans "
+            f"{stop - start} elements (expected {expected} words)"
+        )
+    return PackedBlock(
+        start=int(start),
+        stop=int(stop),
+        alpha=float(alpha),
+        columns=np.asarray(columns),
+        words=words,
+    )
+
+
+def fixed_block_from_codes(
+    start: int,
+    stop: int,
+    alpha: float,
+    columns: np.ndarray,
+    codes: np.ndarray,
+    scale: float,
+    inv_norms: np.ndarray,
+) -> FixedBlock:
+    """Build a :class:`FixedBlock` over an already-transposed code matrix.
+
+    The zero-copy sibling of :func:`fixed_block`: ``codes`` must be the
+    ``(dim, n_classes)`` scoring-layout matrix that :attr:`FixedBlock.codes`
+    stores and ``inv_norms`` the precomputed reciprocal column norms — both
+    are adopted without transposing, copying, or recomputing norms, which is
+    what lets :mod:`repro.serving.shm` map a stored artifact straight into
+    worker engines.
+    """
+    codes = np.asarray(codes)
+    if codes.dtype not in (np.dtype(np.int8), np.dtype(np.int16)):
+        raise EngineError(
+            f"fixed-point codes must be int8 or int16, got {codes.dtype}"
+        )
+    if codes.ndim != 2 or codes.shape[0] != stop - start:
+        raise EngineError(
+            f"transposed codes of shape {codes.shape} do not span the block's "
+            f"{stop - start} elements"
+        )
+    inv_norms = np.asarray(inv_norms, dtype=np.float64)
+    if inv_norms.shape != (codes.shape[1],):
+        raise EngineError(
+            f"inv_norms of shape {inv_norms.shape} do not match "
+            f"{codes.shape[1]} class columns"
+        )
+    return FixedBlock(
+        start=int(start),
+        stop=int(stop),
+        alpha=float(alpha),
+        columns=np.asarray(columns),
+        codes=codes,
+        scale=float(scale),
+        inv_norms=inv_norms,
     )
 
 
@@ -364,6 +447,25 @@ class FixedPointModel(CompiledModel):
                 f"available: {sorted(SCHEME_BITS)}"
             )
         super().__init__(**kwargs)
+        self._configure_fixed(precision)
+
+    @classmethod
+    def from_prepared(cls, *, precision: str, **options) -> "FixedPointModel":
+        """Zero-copy construction over prepared arrays, plus the precision setup.
+
+        See :meth:`CompiledModel.from_prepared`; blocks must already hold
+        scoring-layout codes (:func:`fixed_block_from_codes`).
+        """
+        self = super().from_prepared(**options)
+        self._configure_fixed(precision)
+        return self
+
+    def _configure_fixed(self, precision: str) -> None:
+        if precision not in SCHEME_BITS:
+            raise EngineError(
+                f"unsupported fixed-point precision {precision!r}; "
+                f"available: {sorted(SCHEME_BITS)}"
+            )
         # The accumulator bound and the query cast below are sized from the
         # precision, so mismatched block code dtypes would overflow silently
         # — wrong scores, no error.  Refuse them up front.

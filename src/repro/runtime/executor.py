@@ -70,13 +70,26 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def resolve_max_workers(max_workers: int | str | None) -> int:
-    """Normalise a worker-count request to a concrete pool size (>= 1)."""
+def resolve_max_workers(
+    max_workers: int | str | None,
+    *,
+    env: Sequence[str] = ("REPRO_MAX_WORKERS",),
+) -> int:
+    """Normalise a worker-count request to a concrete pool size (>= 1).
+
+    ``None`` consults the ``env`` variables in order (first non-empty wins)
+    and falls back to serial; subsystems with their own knob prepend it,
+    e.g. the serving fabric resolves through ``("REPRO_FABRIC_WORKERS",
+    "REPRO_MAX_WORKERS")``.
+    """
     if max_workers is None:
-        env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
-        if not env:
+        for variable in env:
+            value = os.environ.get(variable, "").strip()
+            if value:
+                max_workers = value
+                break
+        else:
             return 1
-        max_workers = env
     if isinstance(max_workers, str):
         if max_workers.lower() == "auto":
             return max(1, available_cpus())

@@ -24,7 +24,13 @@ engine (:mod:`repro.engine`) into a long-running service:
   style adaptation from labeled feedback, with automatic engine
   recompilation);
 * :mod:`repro.serving.service` — :class:`StreamingService`, the facade
-  wiring sessions into one scheduler.
+  wiring sessions into one scheduler;
+* :mod:`repro.serving.shm` — zero-copy model distribution: a compiled
+  engine's arrays laid once into a named ``multiprocessing.shared_memory``
+  segment, rebuilt in any process as views over the shared pages;
+* :mod:`repro.serving.fabric` — :class:`ServingFabric`, the multi-process
+  scale-out: sessions sharded across N workers by a stable id hash, all
+  scoring one shared model copy, with drift-gated blue/green hot swap.
 
 Quick start::
 
@@ -47,13 +53,22 @@ within 1e-9 of the batch pipeline, and exact registry round trips.
 """
 
 from .adaptation import AdaptiveModel, DriftMonitor
+from .fabric import ServingFabric, SwapResult, shard_of
 from .registry import ModelRecord, ModelRegistry, RegistryError
 from .scheduler import MicroBatchScheduler, Prediction, SchedulerStats
 from .service import StreamingService
 from .session import ReadyWindow, StreamSession
+from .shm import (
+    AttachedEngine,
+    SharedModel,
+    attach_engine,
+    cleanup_orphan_segments,
+    publish_engine,
+)
 
 __all__ = [
     "AdaptiveModel",
+    "AttachedEngine",
     "DriftMonitor",
     "ModelRecord",
     "ModelRegistry",
@@ -61,7 +76,14 @@ __all__ = [
     "MicroBatchScheduler",
     "Prediction",
     "SchedulerStats",
+    "ServingFabric",
+    "SharedModel",
     "StreamingService",
+    "SwapResult",
     "ReadyWindow",
     "StreamSession",
+    "attach_engine",
+    "cleanup_orphan_segments",
+    "publish_engine",
+    "shard_of",
 ]

@@ -1,0 +1,583 @@
+"""Multi-process serving fabric: sharded sessions, shared models, hot swap.
+
+One Python process caps streaming throughput at the GIL long before the
+scoring kernels saturate a machine.  :class:`ServingFabric` scales the
+:class:`~repro.serving.service.StreamingService` horizontally inside one
+host:
+
+* **Session sharding** — every session is pinned to one of N worker
+  processes by a *stable* hash of its id (:func:`shard_of`).  All of a
+  session's windows land on the same worker, so windowing state, smoothing
+  and micro-batching behave exactly as in the single-process service.
+  (Python's builtin ``hash`` is salted per process, so the fabric hashes
+  with BLAKE2b — the routing must agree across restarts and processes.)
+* **Zero-copy models** — the model is published once into a named
+  shared-memory segment (:mod:`repro.serving.shm`); every worker attaches
+  and scores through ndarray views of the same physical pages.  N workers
+  cost ~one copy of the model, not N.
+* **Blue/green hot swap** — :meth:`ServingFabric.swap` publishes the new
+  model as a fresh segment (generation ``g+1``), then walks the shards:
+  each flushes its pending windows against the *old* engine, atomically
+  switches its scorer to the new attachment, and drops its old mapping.
+  Only after every shard acknowledges does the fabric unlink the old
+  segment.  No window is ever scored against a half-swapped model, none is
+  dropped or double-scored, and promotion can be gated on a
+  :class:`~repro.serving.adaptation.DriftMonitor`.
+* **Worker recovery** — a killed worker breaks its (single-process) pool;
+  the fabric rebuilds the pool, re-attaches the current generation,
+  re-opens the shard's sessions from the parent-side ledger, and retries
+  the call once.  Recovered sessions restart their windowing state (the
+  raw-sample tail of a dead process is not recoverable by design).
+
+Worker counts resolve like every other pool in the repo
+(:func:`repro.runtime.executor.resolve_max_workers`), consulting
+``REPRO_FABRIC_WORKERS`` then ``REPRO_MAX_WORKERS``; one worker — or a
+platform where process pools are unavailable — degrades to an in-process
+serial fabric with identical routing and results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import defaultdict
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import OBS
+from ..runtime.executor import resolve_max_workers
+from .scheduler import Prediction
+from .service import StreamingService
+from .shm import AttachedEngine, attach_engine, cleanup_orphan_segments, publish_engine
+
+__all__ = [
+    "ServingFabric",
+    "SwapResult",
+    "process_uss",
+    "shard_of",
+]
+
+#: Environment variables consulted (in order) when ``n_workers`` is None.
+WORKER_ENV = ("REPRO_FABRIC_WORKERS", "REPRO_MAX_WORKERS")
+
+
+def shard_of(session_id: str, n_shards: int) -> int:
+    """The worker index a session id is pinned to — stable across processes.
+
+    BLAKE2b rather than builtin ``hash``: the latter is salted per process
+    (PYTHONHASHSEED), which would route the same session to different
+    workers in different processes or across restarts.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.blake2b(str(session_id).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big") % n_shards
+
+
+def process_uss() -> int | None:
+    """This process's unique set size in bytes (``None`` where unavailable).
+
+    USS (private pages only) rather than RSS: shared-memory model pages are
+    resident in *every* attached worker, so RSS would count the one model
+    copy N times and make zero-copy distribution look like N copies.
+    """
+    try:
+        with open("/proc/self/smaps_rollup") as stream:
+            text = stream.read()
+    except OSError:
+        return None
+    total = 0
+    for line in text.splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total += int(line.split()[1])
+    return total * 1024
+
+
+# ----------------------------------------------------------------- runtime
+class _ShardRuntime:
+    """One shard's in-worker state: the attached engine and its service."""
+
+    def __init__(self, manifest: dict, service_options: dict, index: int) -> None:
+        self.index = index
+        self.attached: AttachedEngine = attach_engine(manifest)
+        self.service = StreamingService(self.attached.engine, **service_options)
+
+    @property
+    def generation(self) -> int:
+        return self.attached.generation
+
+    def open(self, session_id: str, overrides: dict) -> str:
+        self.service.open_session(session_id, **overrides)
+        return session_id
+
+    def close_session(self, session_id: str) -> str:
+        self.service.close_session(session_id)
+        return session_id
+
+    def push_many(self, batch: list) -> list[Prediction]:
+        predictions: list[Prediction] = []
+        for session_id, samples in batch:
+            predictions.extend(self.service.push(session_id, samples))
+        return predictions
+
+    def drain(self) -> list[Prediction]:
+        return self.service.drain()
+
+    def swap(self, manifest: dict) -> list[Prediction]:
+        """Flush on the old engine, switch to the new segment, drop the old.
+
+        The flush inside :meth:`StreamingService.swap_scorer` happens while
+        the old engine is still the scheduler's scorer, so every in-flight
+        window scores against exactly one complete model.
+        """
+        incoming = attach_engine(manifest)
+        flushed = self.service.swap_scorer(incoming.engine)
+        outgoing, self.attached = self.attached, incoming
+        try:
+            outgoing.close()
+        except BufferError:  # pragma: no cover - a borrowed view still live
+            pass
+        return flushed
+
+    def stats(self) -> dict:
+        stats = self.service.stats
+        return {
+            "windows": stats.windows_scored,
+            "batches": stats.batches,
+            "score_failures": stats.score_failures,
+            "mean_batch": stats.mean_batch_size,
+        }
+
+    def info(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "generation": self.generation,
+            "sessions": len(self.service.sessions),
+            "uss_bytes": process_uss(),
+        }
+
+    def shutdown(self) -> list[Prediction]:
+        flushed = self.service.drain()
+        try:
+            self.attached.close()
+        except BufferError:  # pragma: no cover
+            pass
+        return flushed
+
+
+_RUNTIME: _ShardRuntime | None = None
+
+
+def _worker_init(
+    manifest: dict, service_options: dict, index: int, obs_enabled: bool
+) -> None:
+    global _RUNTIME
+    if obs_enabled:
+        # Same policy as the grid executor's workers: a fresh registry per
+        # worker, never the fork-inherited parent counts.
+        from ..obs import enable
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.trace import SpanRecorder
+
+        enable(MetricsRegistry(), SpanRecorder())
+    _RUNTIME = _ShardRuntime(manifest, service_options, index)
+
+
+def _worker_call(method: str, *args):
+    return getattr(_RUNTIME, method)(*args)
+
+
+# ------------------------------------------------------------------ shards
+class _LocalShard:
+    """In-process shard: the serial fallback, same routing, same results."""
+
+    def __init__(self, index, manifest, service_options, obs_enabled) -> None:
+        self.index = index
+        self.manifest = manifest
+        self.runtime = _ShardRuntime(manifest, service_options, index)
+
+    def submit(self, method: str, *args) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(getattr(self.runtime, method)(*args))
+        except BaseException as error:
+            future.set_exception(error)
+        return future
+
+    def shutdown(self) -> None:
+        self.runtime.shutdown()
+
+
+class _ProcessShard:
+    """One worker process, owned exclusively by one shard.
+
+    A dedicated single-worker pool per shard (rather than one shared pool)
+    is what gives sessions *state affinity*: ``ProcessPoolExecutor`` offers
+    no way to route a task to a chosen worker, but a one-worker pool has
+    only one place to go.
+    """
+
+    def __init__(self, index, manifest, service_options, obs_enabled) -> None:
+        self.index = index
+        self.manifest = manifest
+        self._service_options = service_options
+        self._obs_enabled = obs_enabled
+        self.pool = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_init,
+            initargs=(self.manifest, self._service_options, self.index, self._obs_enabled),
+        )
+        # Force the worker up now so initializer failures surface here, not
+        # on some later scoring call.
+        pool.submit(_worker_call, "info").result()
+        return pool
+
+    def submit(self, method: str, *args) -> Future:
+        try:
+            return self.pool.submit(_worker_call, method, *args)
+        except BrokenProcessPool as error:
+            # An already-broken pool refuses submissions synchronously; hand
+            # the breakage back as a failed future so recovery is handled in
+            # exactly one place (:meth:`ServingFabric._result`).
+            future: Future = Future()
+            future.set_exception(error)
+            return future
+
+    def rebuild(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = self._spawn()
+
+    def shutdown(self) -> None:
+        try:
+            self.pool.submit(_worker_call, "shutdown").result(timeout=30)
+        except Exception:  # pragma: no cover - worker already gone
+            pass
+        self.pool.shutdown()
+
+
+# ------------------------------------------------------------------ fabric
+@dataclass(frozen=True)
+class SwapResult:
+    """Outcome of a :meth:`ServingFabric.swap` attempt."""
+
+    promoted: bool
+    generation: int
+    flushed: tuple = ()
+    reason: str = ""
+
+
+class ServingFabric:
+    """Shard streaming sessions across N worker processes over one shared model.
+
+    Parameters
+    ----------
+    engine:
+        A compiled scoring engine (:class:`~repro.engine.CompiledModel`,
+        :class:`~repro.engine.PackedBipolarModel` or
+        :class:`~repro.engine.FixedPointModel`) — published once into
+        shared memory; workers attach, never copy.
+    n_workers:
+        Worker count; ``None`` consults ``REPRO_FABRIC_WORKERS`` then
+        ``REPRO_MAX_WORKERS`` and falls back to the in-process serial
+        fabric; ``"auto"`` uses the available CPU count.
+    serial:
+        Force the in-process fallback regardless of ``n_workers`` (shards
+        still exist and route identically — they just share one process).
+    cleanup_orphans:
+        Reclaim shared-memory segments leaked by dead fabrics at startup
+        (:func:`repro.serving.shm.cleanup_orphan_segments`).
+    **service_options:
+        Forwarded to each worker's :class:`StreamingService` —
+        ``n_channels``, ``window_samples``, ``max_batch``, ``max_wait``,
+        etc.  Everything must be picklable (a ``transform`` lambda is not).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        n_workers: int | str | None = None,
+        serial: bool = False,
+        cleanup_orphans: bool = True,
+        **service_options,
+    ) -> None:
+        if cleanup_orphans:
+            cleanup_orphan_segments()
+        self.n_workers = resolve_max_workers(n_workers, env=WORKER_ENV)
+        self._service_options = dict(service_options)
+        self._shared = publish_engine(engine, generation=0)
+        self._session_specs: dict[str, dict] = {}
+        self.restarts = 0
+        self.swaps = 0
+        self.serial = bool(serial) or self.n_workers <= 1
+        self._shards: list = []
+        try:
+            self._build_shards()
+        except BaseException:
+            self._shared.unlink()
+            raise
+
+    def _build_shards(self) -> None:
+        manifest = self._shared.manifest
+        obs_enabled = OBS.enabled
+        if not self.serial:
+            try:
+                for index in range(self.n_workers):
+                    self._shards.append(
+                        _ProcessShard(
+                            index, manifest, self._service_options, obs_enabled
+                        )
+                    )
+            except Exception:
+                # Pools unavailable (sandboxed platform, missing sem support,
+                # broken fork): degrade to the in-process fabric.
+                for shard in self._shards:
+                    shard.shutdown()
+                self._shards = []
+                self.serial = True
+        if self.serial:
+            self._shards = [
+                _LocalShard(index, manifest, self._service_options, obs_enabled)
+                for index in range(self.n_workers)
+            ]
+
+    # ------------------------------------------------------------- plumbing
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str,
+        version: int | None = None,
+        *,
+        precision: str = "float64",
+        n_workers: int | str | None = None,
+        **options,
+    ) -> "ServingFabric":
+        """Build a fabric straight from a stored registry artifact."""
+        compile_options = {
+            key: options.pop(key)
+            for key in ("dtype", "chunk_size", "cache_size", "cache_bytes")
+            if key in options
+        }
+        engine = registry.load_compiled(
+            name, version, precision=precision, **compile_options
+        )
+        return cls(engine, n_workers=n_workers, **options)
+
+    def _call(self, shard_index: int, method: str, *args):
+        """One shard call with single-retry worker recovery."""
+        future = self._shards[shard_index].submit(method, *args)
+        return self._result(shard_index, future, method, args)
+
+    def _result(self, shard_index: int, future: Future, method: str, args):
+        try:
+            return future.result()
+        except BrokenProcessPool:
+            self._recover(shard_index)
+            return self._shards[shard_index].submit(method, *args).result()
+
+    def _recover(self, shard_index: int) -> None:
+        """Rebuild a dead worker and replay its session registrations."""
+        shard = self._shards[shard_index]
+        shard.manifest = self._shared.manifest
+        shard.rebuild()
+        for session_id, overrides in self._session_specs.items():
+            if shard_of(session_id, self.n_workers) == shard_index:
+                shard.submit("open", session_id, overrides).result()
+        self.restarts += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_fabric_worker_restarts_total",
+                "Fabric workers rebuilt after an unexpected death.",
+            ).inc()
+
+    # -------------------------------------------------------------- serving
+    def open_session(self, session_id: str, **overrides) -> int:
+        """Register a session on its shard; returns the shard index."""
+        if session_id in self._session_specs:
+            raise ValueError(f"session {session_id!r} is already open")
+        shard = shard_of(session_id, self.n_workers)
+        self._call(shard, "open", session_id, overrides)
+        self._session_specs[session_id] = dict(overrides)
+        return shard
+
+    def close_session(self, session_id: str) -> None:
+        """Deregister a session from its shard."""
+        if session_id not in self._session_specs:
+            raise KeyError(f"no open session {session_id!r}")
+        shard = shard_of(session_id, self.n_workers)
+        self._call(shard, "close_session", session_id)
+        del self._session_specs[session_id]
+
+    def push(self, session_id: str, samples: np.ndarray) -> list[Prediction]:
+        """Feed raw samples for one session; returns released predictions."""
+        if session_id not in self._session_specs:
+            raise KeyError(f"no open session {session_id!r}")
+        shard = shard_of(session_id, self.n_workers)
+        return self._call(shard, "push_many", [(session_id, np.asarray(samples))])
+
+    def route(self, items) -> list[Prediction]:
+        """Push many ``(session_id, samples)`` pairs, fanned out per shard.
+
+        Items are grouped by shard and dispatched to every worker
+        concurrently — this is the fabric's throughput path.  Within one
+        shard, items apply in the order given, so per-session sample order
+        is preserved (a session only ever lives on one shard).
+        """
+        groups: dict[int, list] = defaultdict(list)
+        for session_id, samples in items:
+            if session_id not in self._session_specs:
+                raise KeyError(f"no open session {session_id!r}")
+            shard = shard_of(session_id, self.n_workers)
+            groups[shard].append((session_id, np.asarray(samples)))
+        futures = {
+            shard: self._shards[shard].submit("push_many", batch)
+            for shard, batch in groups.items()
+        }
+        predictions: list[Prediction] = []
+        for shard, future in futures.items():
+            predictions.extend(
+                self._result(shard, future, "push_many", (groups[shard],))
+            )
+        return predictions
+
+    def drain(self) -> list[Prediction]:
+        """Force-score every pending window on every shard."""
+        futures = [
+            (index, shard.submit("drain")) for index, shard in enumerate(self._shards)
+        ]
+        predictions: list[Prediction] = []
+        for index, future in futures:
+            predictions.extend(self._result(index, future, "drain", ()))
+        return predictions
+
+    # ------------------------------------------------------------- hot swap
+    @property
+    def generation(self) -> int:
+        """The currently promoted model generation."""
+        return self._shared.generation
+
+    def swap(self, engine, *, gate=None) -> SwapResult:
+        """Blue/green hot swap to a new engine, optionally drift-gated.
+
+        ``gate`` may be ``None`` (always promote), a
+        :class:`~repro.serving.adaptation.DriftMonitor` (promote only when
+        ``.drifted`` — roll a refreshed model in response to score-margin
+        drift), or any callable returning truthiness.  On promotion the new
+        model is published as generation ``g+1``; each shard flushes its
+        pending windows on the old engine (those predictions are returned),
+        switches, and drops its old mapping; the old segment is unlinked
+        only after every shard has acknowledged.  A declined gate leaves
+        the fabric untouched.
+        """
+        if gate is not None:
+            drifted = getattr(gate, "drifted", None)
+            promoted = bool(drifted) if drifted is not None else bool(
+                gate() if callable(gate) else gate
+            )
+            if not promoted:
+                return SwapResult(
+                    promoted=False,
+                    generation=self.generation,
+                    reason="gate declined promotion",
+                )
+        incoming = publish_engine(engine, generation=self.generation + 1)
+        flushed: list[Prediction] = []
+        try:
+            for index in range(len(self._shards)):
+                flushed.extend(self._call(index, "swap", incoming.manifest))
+        except BaseException:
+            incoming.unlink()
+            raise
+        outgoing, self._shared = self._shared, incoming
+        for shard in self._shards:
+            shard.manifest = incoming.manifest
+        outgoing.unlink()
+        self.swaps += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_fabric_swaps_total",
+                "Model generations promoted across the fabric.",
+            ).inc()
+        return SwapResult(
+            promoted=True,
+            generation=self.generation,
+            flushed=tuple(flushed),
+            reason="promoted",
+        )
+
+    def swap_from_registry(
+        self,
+        registry,
+        name: str,
+        version: int | None = None,
+        *,
+        precision: str = "float64",
+        gate=None,
+        **compile_options,
+    ) -> SwapResult:
+        """Hot-swap to a registry artifact (the registry-driven rollout path)."""
+        engine = registry.load_compiled(
+            name, version, precision=precision, **compile_options
+        )
+        return self.swap(engine, gate=gate)
+
+    # ------------------------------------------------------------ inspection
+    def worker_info(self) -> list[dict]:
+        """Per-shard ``{pid, generation, sessions, uss_bytes}`` snapshots."""
+        futures = [
+            (index, shard.submit("info")) for index, shard in enumerate(self._shards)
+        ]
+        return [self._result(index, future, "info", ()) for index, future in futures]
+
+    def worker_pids(self) -> list[int]:
+        return [info["pid"] for info in self.worker_info()]
+
+    def stats(self) -> list[dict]:
+        """Per-shard scheduler statistics dictionaries."""
+        futures = [
+            (index, shard.submit("stats")) for index, shard in enumerate(self._shards)
+        ]
+        return [self._result(index, future, "stats", ()) for index, future in futures]
+
+    @property
+    def sessions(self) -> tuple[str, ...]:
+        """Ids of every open session, across all shards."""
+        return tuple(self._session_specs)
+
+    @property
+    def model_bytes(self) -> int:
+        """Bytes of the one shared model copy all workers score against."""
+        return self._shared.nbytes
+
+    # -------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Stop every worker and destroy the published segment."""
+        for shard in self._shards:
+            try:
+                shard.shutdown()
+            except Exception:  # pragma: no cover - dead worker at shutdown
+                pass
+        self._shards = []
+        self._session_specs = {}
+        self._shared.unlink()
+
+    def __enter__(self) -> "ServingFabric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingFabric(n_workers={self.n_workers}, serial={self.serial}, "
+            f"generation={self.generation}, sessions={len(self._session_specs)}, "
+            f"model_bytes={self.model_bytes}, swaps={self.swaps}, "
+            f"restarts={self.restarts})"
+        )

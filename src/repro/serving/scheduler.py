@@ -20,6 +20,14 @@ whenever it is willing to run a fused call (:meth:`flush` forces one at
 shutdown).  All timing bookkeeping — queue waits, batch sizes, per-window
 end-to-end latency — accumulates in :class:`SchedulerStats`, which the
 serving benchmark reads for its throughput and p50/p99 report.
+
+Failure semantics: a batch is popped off the queue only *after* its fused
+call succeeds.  If ``scorer.decision_function`` raises, every window of the
+batch stays queued with its original ``enqueued_at`` (so queue-wait
+accounting and ``max_wait`` ordering survive the retry), the failure is
+counted in :attr:`SchedulerStats.score_failures` (and the
+``repro_scheduler_score_failures_total`` obs counter), and the exception
+propagates to the caller — windows are never silently dropped.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from ..obs.metrics import Counter, Histogram
 __all__ = ["Prediction", "SchedulerStats", "MicroBatchScheduler"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Prediction:
     """Scored window routed back to its session.
 
@@ -45,6 +53,14 @@ class Prediction:
     ``score_seconds`` the duration of the fused call that scored it (shared
     by every window in the batch), and ``batch_size`` how many windows that
     call coalesced.
+
+    ``scores`` is a read-only per-row *copy* of the fused call's score
+    matrix: retaining a prediction never pins the whole ``(B, k)`` batch
+    array in memory, and no write through one prediction can alias another.
+    Equality is defined field-wise with :func:`numpy.array_equal` on the
+    scores (the dataclass auto-``__eq__`` would raise the ambiguous-ndarray
+    ``ValueError`` for any ``k > 1``), so predictions are safe to compare,
+    deduplicate and keep in sets/dicts.
     """
 
     session_id: str
@@ -59,6 +75,24 @@ class Prediction:
     def latency_seconds(self) -> float:
         """End-to-end scheduler latency: queue wait plus fused-call time."""
         return self.queue_seconds + self.score_seconds
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prediction):
+            return NotImplemented
+        return (
+            self.session_id == other.session_id
+            and self.window_index == other.window_index
+            and self.label == other.label
+            and np.array_equal(self.scores, other.scores)
+            and self.queue_seconds == other.queue_seconds
+            and self.score_seconds == other.score_seconds
+            and self.batch_size == other.batch_size
+        )
+
+    def __hash__(self) -> int:
+        # Scores are excluded (ndarrays are unhashable); equal predictions
+        # still hash equally because the identity fields participate.
+        return hash((self.session_id, self.window_index, self.batch_size))
 
 
 class SchedulerStats:
@@ -84,6 +118,7 @@ class SchedulerStats:
         self._windows_scored = Counter()
         self._batches = Counter()
         self._total_score_seconds = Counter()
+        self._score_failures = Counter()
         self.latency_histogram = Histogram()
         self.latencies: deque[float] = deque(maxlen=int(latency_window))
 
@@ -98,6 +133,15 @@ class SchedulerStats:
     @property
     def total_score_seconds(self) -> float:
         return self._total_score_seconds.value
+
+    @property
+    def score_failures(self) -> int:
+        """Fused calls that raised; their windows were re-queued, not lost."""
+        return self._score_failures.value
+
+    def record_failure(self) -> None:
+        """Account one failed fused call (the batch went back on the queue)."""
+        self._score_failures.inc()
 
     def record_latency(self, seconds: float) -> None:
         """Account one window's end-to-end latency (queue wait + fused call)."""
@@ -126,7 +170,8 @@ class SchedulerStats:
             f"batches={self.batches}, "
             f"mean_batch={self.mean_batch_size:.1f}, "
             f"p50={self.latency_percentile(50) * 1e3:.2f}ms, "
-            f"p99={self.latency_percentile(99) * 1e3:.2f}ms)"
+            f"p99={self.latency_percentile(99) * 1e3:.2f}ms, "
+            f"failures={self.score_failures})"
         )
 
 
@@ -224,11 +269,16 @@ class MicroBatchScheduler:
 
         predictions = []
         for row, pending in enumerate(batch):
+            # Per-row copy: a view of scores[row] would pin the whole (B, k)
+            # batch array for as long as any one prediction is retained, and
+            # writes through it would alias across predictions.
+            row_scores = scores[row].copy()
+            row_scores.setflags(write=False)
             prediction = Prediction(
                 session_id=pending.session_id,
                 window_index=pending.window_index,
                 label=labels[row],
-                scores=scores[row],
+                scores=row_scores,
                 queue_seconds=released_at - pending.enqueued_at,
                 score_seconds=score_seconds,
                 batch_size=len(batch),
@@ -279,15 +329,33 @@ class MicroBatchScheduler:
             ),
         )
 
+    def _release_one(self) -> list[Prediction]:
+        """Score the head batch; pop it from the queue only on success.
+
+        On failure the batch stays queued (original ``enqueued_at`` intact,
+        still at the head, so nothing reorders), the failure is counted, and
+        the exception propagates — a raising scorer can never silently drop
+        windows (the pre-fix behaviour popped before scoring).
+        """
+        batch = self._queue[: self.max_batch]
+        try:
+            predictions = self._score_batch(batch)
+        except Exception:
+            self.stats.record_failure()
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_scheduler_score_failures_total",
+                    "Fused scoring calls that raised (windows re-queued).",
+                ).inc()
+            raise
+        del self._queue[: len(batch)]
+        return predictions
+
     def flush(self) -> list[Prediction]:
         """Score everything pending (in fused calls of at most ``max_batch``)."""
         predictions: list[Prediction] = []
         while self._queue:
-            batch, self._queue = (
-                self._queue[: self.max_batch],
-                self._queue[self.max_batch :],
-            )
-            predictions.extend(self._score_batch(batch))
+            predictions.extend(self._release_one())
         return predictions
 
     def pump(self) -> list[Prediction]:
@@ -298,9 +366,5 @@ class MicroBatchScheduler:
         """
         predictions: list[Prediction] = []
         while self.ready():
-            batch, self._queue = (
-                self._queue[: self.max_batch],
-                self._queue[self.max_batch :],
-            )
-            predictions.extend(self._score_batch(batch))
+            predictions.extend(self._release_one())
         return predictions

@@ -181,6 +181,25 @@ class StreamingService:
         """Force-score every pending window (end of tick / shutdown)."""
         return self.scheduler.flush()
 
+    def swap_scorer(self, scorer, *, precision: str | None = None) -> list[Prediction]:
+        """Atomically replace the scorer, flushing pending windows first.
+
+        Every window already submitted is scored against the *old* scorer
+        (their predictions are returned), then the scheduler switches to the
+        new one — no window is ever scored against a half-swapped model.
+        This is the in-process primitive under the fabric's blue/green hot
+        swap (:meth:`repro.serving.fabric.ServingFabric.swap`).
+        """
+        scorer = self._apply_precision(scorer, precision)
+        flushed = self.scheduler.flush()
+        self.scheduler.scorer = scorer
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_serving_scorer_swaps_total",
+                "Hot scorer replacements performed by the service.",
+            ).inc()
+        return flushed
+
     @property
     def stats(self):
         """The scheduler's accumulated :class:`SchedulerStats`."""

@@ -1,0 +1,396 @@
+"""Zero-copy model distribution over POSIX shared memory.
+
+The serving fabric (:mod:`repro.serving.fabric`) runs one scoring engine per
+worker process.  Engines are mostly *read-only array bundles* — the fused
+projection, the phase bias, and the per-learner class representations — so
+instead of pickling a model into every worker (N full copies), a single
+writer lays every array of a compiled engine into one named
+:class:`multiprocessing.shared_memory.SharedMemory` segment and hands the
+workers a small picklable *manifest* describing the layout.  Each worker
+attaches the segment and rebuilds the engine with the ``from_prepared``
+constructors (:meth:`repro.engine.CompiledModel.from_prepared`,
+:func:`repro.engine.quant.packed_block_from_words`,
+:func:`repro.engine.quant.fixed_block_from_codes`): every large array is an
+ndarray *view* into the shared mapping, so N workers cost one copy of the
+model plus kilobytes of per-worker bookkeeping.  The packed/fixed engines
+(~62x smaller class payloads than float64) make the segments small enough to
+hot-swap freely.
+
+Segment lifecycle
+-----------------
+* :func:`publish_engine` creates a segment named
+  ``repro_fabric_{pid}_{token}_g{generation}`` and returns a
+  :class:`SharedModel` (the writer-side handle).  The *publisher* owns the
+  segment: workers only ever attach and ``close()``; the publisher calls
+  :meth:`SharedModel.unlink` when the generation is retired (blue/green
+  swap) or the fabric shuts down.
+* :func:`attach_engine` maps an existing segment read-only and returns an
+  :class:`AttachedEngine` whose ``.engine`` scores directly over the shared
+  buffers.  The handle keeps the mapping alive — drop all engine references
+  before :meth:`AttachedEngine.close`.
+* :func:`cleanup_orphan_segments` reclaims segments whose publishing process
+  died without unlinking (the pid is embedded in the name precisely so a
+  restarted fabric can tell live segments from corpses).
+
+Attach-side handles deregister from the stdlib ``resource_tracker`` —
+otherwise every worker's tracker would try to unlink the segment at exit,
+destroying it while siblings still serve from it.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..engine.compile import CompiledModel, EngineError, LearnerBlock
+from ..engine.quant import (
+    FixedBlock,
+    FixedPointModel,
+    PackedBipolarModel,
+    PackedBlock,
+    fixed_block_from_codes,
+    packed_block_from_words,
+)
+
+__all__ = [
+    "AttachedEngine",
+    "SEGMENT_PREFIX",
+    "SharedModel",
+    "attach_engine",
+    "cleanup_orphan_segments",
+    "publish_engine",
+]
+
+#: Prefix of every fabric shared-memory segment; orphan cleanup scans for it.
+SEGMENT_PREFIX = "repro_fabric_"
+
+#: Byte alignment of each array inside a segment.  64 covers every dtype the
+#: engines use (the uint64 sign words need 8) and keeps rows cache-friendly.
+_ALIGN = 64
+
+_SHM_DIR = "/dev/shm"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from unlinking an *attached* segment.
+
+    CPython registers attach-side handles with the shared-memory resource
+    tracker (bpo-39959); at worker exit the tracker would unlink segments
+    the publisher still owns.  Publisher-side handles stay registered so a
+    crashed publisher's tracker still reclaims them.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+def _segment_name(generation: int) -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}_g{int(generation)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def _engine_kind(engine: CompiledModel) -> str:
+    if not isinstance(engine, CompiledModel) or not engine.blocks:
+        raise EngineError(
+            f"cannot publish {type(engine).__name__} to shared memory; "
+            f"expected a compiled engine with learner blocks"
+        )
+    block = engine.blocks[0]
+    if isinstance(engine, FixedPointModel) and isinstance(block, FixedBlock):
+        return "fixed"
+    if isinstance(engine, PackedBipolarModel) and isinstance(block, PackedBlock):
+        return "packed"
+    if type(engine) is CompiledModel and isinstance(block, LearnerBlock):
+        return "float"
+    raise EngineError(
+        f"cannot publish {type(engine).__name__} to shared memory; supported "
+        f"engines: CompiledModel, PackedBipolarModel, FixedPointModel "
+        f"(publish cascade stages individually)"
+    )
+
+
+# ------------------------------------------------------------------ publish
+@dataclass
+class SharedModel:
+    """Writer-side handle of a published model segment.
+
+    Holds the manifest workers attach with, and owns the segment: call
+    :meth:`unlink` exactly once when the generation is retired.
+    """
+
+    manifest: dict
+    _shm: shared_memory.SharedMemory = field(repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.manifest["segment"]
+
+    @property
+    def generation(self) -> int:
+        return self.manifest["generation"]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of model payload laid into the segment (excluding padding)."""
+        return self.manifest["payload_bytes"]
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment.  Attached workers keep their mappings until
+        they close, but no new attach can succeed afterwards."""
+        self._shm.close()
+        try:
+            # Forked workers share the publisher's resource tracker, so an
+            # attach-side ``_untrack`` may have dropped this segment's entry;
+            # re-register so the unregister inside ``unlink()`` always pairs
+            # (re-registration is a set update — a no-op when still present).
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedModel(name={self.name!r}, generation={self.generation}, "
+            f"kind={self.manifest['kind']!r}, nbytes={self.nbytes})"
+        )
+
+
+def publish_engine(
+    engine: CompiledModel, *, generation: int = 0, name: str | None = None
+) -> SharedModel:
+    """Lay a compiled engine's arrays into one named shared-memory segment.
+
+    Copies every model array — the fused projection ``_basis2``, the phase
+    bias pair, and each block's class payload (float weights, padded sign
+    words, or transposed fixed-point codes with their reciprocal norms) —
+    into a fresh segment, exactly once.  Returns the :class:`SharedModel`
+    whose picklable ``manifest`` lets any process rebuild the engine over
+    the shared buffers via :func:`attach_engine`.
+    """
+    kind = _engine_kind(engine)
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("basis2", engine._basis2),
+        ("bias", engine._bias),
+        ("sin_bias", engine._sin_bias),
+    ]
+    blocks: list[dict] = []
+    for i, block in enumerate(engine.blocks):
+        entry: dict = {
+            "start": int(block.start),
+            "stop": int(block.stop),
+            "alpha": float(block.alpha),
+            "columns": np.asarray(block.columns),
+        }
+        if kind == "float":
+            arrays.append((f"block{i}.class_weights", block.class_weights))
+        elif kind == "packed":
+            arrays.append((f"block{i}.words", block.words))
+        else:
+            entry["scale"] = float(block.scale)
+            arrays.append((f"block{i}.codes", block.codes))
+            arrays.append((f"block{i}.inv_norms", block.inv_norms))
+        blocks.append(entry)
+
+    specs: dict[str, dict] = {}
+    offset = 0
+    payload = 0
+    for key, array in arrays:
+        array = np.ascontiguousarray(array)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        specs[key] = {
+            "dtype": array.dtype.str,
+            "shape": tuple(int(s) for s in array.shape),
+            "offset": offset,
+        }
+        offset += array.nbytes
+        payload += array.nbytes
+
+    segment = name or _segment_name(generation)
+    shm = shared_memory.SharedMemory(name=segment, create=True, size=max(offset, 1))
+    try:
+        for key, array in arrays:
+            spec = specs[key]
+            view = np.ndarray(
+                spec["shape"],
+                dtype=np.dtype(spec["dtype"]),
+                buffer=shm.buf,
+                offset=spec["offset"],
+            )
+            view[...] = np.ascontiguousarray(array)
+            del view
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+    manifest = {
+        "segment": segment,
+        "generation": int(generation),
+        "kind": kind,
+        "precision": getattr(engine, "precision", "float64"),
+        "dtype": engine.dtype.str,
+        "aggregation": engine.aggregation,
+        "chunk_size": engine.chunk_size,
+        "shared_projection": engine.shared_projection,
+        "score_threads": engine.score_threads,
+        "classes": np.asarray(engine.classes_),
+        "arrays": specs,
+        "blocks": blocks,
+        "payload_bytes": payload,
+    }
+    return SharedModel(manifest=manifest, _shm=shm)
+
+
+# ------------------------------------------------------------------- attach
+class AttachedEngine:
+    """A scoring engine built as views over an attached shared segment.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` mapping
+    alive for as long as ``engine`` exists; every large array of ``engine``
+    aliases the shared buffer (read-only), so the attach costs no model
+    copy.  Call :meth:`close` only after dropping every reference to
+    ``engine`` and to predictions' borrowed arrays.
+    """
+
+    def __init__(self, manifest: dict) -> None:
+        self.manifest = manifest
+        self.generation = int(manifest["generation"])
+        self.segment = manifest["segment"]
+        self._shm = shared_memory.SharedMemory(name=self.segment, create=False)
+        _untrack(self._shm)
+        try:
+            self.engine = self._build()
+        except BaseException:
+            self._shm.close()
+            raise
+
+    def _view(self, key: str) -> np.ndarray:
+        spec = self.manifest["arrays"][key]
+        view = np.ndarray(
+            spec["shape"],
+            dtype=np.dtype(spec["dtype"]),
+            buffer=self._shm.buf,
+            offset=spec["offset"],
+        )
+        view.flags.writeable = False
+        return view
+
+    def _build(self) -> CompiledModel:
+        manifest = self.manifest
+        kind = manifest["kind"]
+        blocks = []
+        for i, entry in enumerate(manifest["blocks"]):
+            start, stop = entry["start"], entry["stop"]
+            alpha, columns = entry["alpha"], entry["columns"]
+            if kind == "float":
+                blocks.append(
+                    LearnerBlock(
+                        start=start,
+                        stop=stop,
+                        alpha=alpha,
+                        columns=columns,
+                        class_weights=self._view(f"block{i}.class_weights"),
+                    )
+                )
+            elif kind == "packed":
+                blocks.append(
+                    packed_block_from_words(
+                        start, stop, alpha, columns, self._view(f"block{i}.words")
+                    )
+                )
+            else:
+                blocks.append(
+                    fixed_block_from_codes(
+                        start,
+                        stop,
+                        alpha,
+                        columns,
+                        self._view(f"block{i}.codes"),
+                        entry["scale"],
+                        self._view(f"block{i}.inv_norms"),
+                    )
+                )
+        options = dict(
+            basis2=self._view("basis2"),
+            bias=self._view("bias"),
+            sin_bias=self._view("sin_bias"),
+            blocks=blocks,
+            classes=manifest["classes"],
+            aggregation=manifest["aggregation"],
+            dtype=np.dtype(manifest["dtype"]),
+            chunk_size=manifest["chunk_size"],
+            shared_projection=manifest["shared_projection"],
+            score_threads=manifest["score_threads"],
+        )
+        if kind == "float":
+            return CompiledModel.from_prepared(**options)
+        if kind == "packed":
+            return PackedBipolarModel.from_prepared(**options)
+        return FixedPointModel.from_prepared(precision=manifest["precision"], **options)
+
+    def close(self) -> None:
+        """Drop the engine and this process's mapping of the segment."""
+        self.engine = None
+        self._shm.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AttachedEngine(segment={self.segment!r}, "
+            f"generation={self.generation}, kind={self.manifest['kind']!r})"
+        )
+
+
+def attach_engine(manifest: dict) -> AttachedEngine:
+    """Attach a published segment and rebuild its engine over shared buffers."""
+    return AttachedEngine(manifest)
+
+
+# ------------------------------------------------------------------ cleanup
+def cleanup_orphan_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Unlink fabric segments whose publishing process is gone.
+
+    Scans the POSIX shm filesystem for ``{prefix}{pid}_...`` names, checks
+    whether the embedded publisher pid is still alive, and unlinks dead
+    publishers' segments.  Run at fabric startup so a crashed predecessor
+    cannot leak /dev/shm space indefinitely.  Returns the reclaimed names;
+    returns ``[]`` (touching nothing) where the shm filesystem is absent.
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    reclaimed = []
+    for entry in names:
+        if not entry.startswith(prefix):
+            continue
+        suffix = entry[len(prefix) :]
+        pid_text = suffix.split("_", 1)[0]
+        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+        except OSError:  # pragma: no cover - raced with another cleaner
+            continue
+        reclaimed.append(entry)
+    return reclaimed

@@ -1,0 +1,546 @@
+"""Contracts of the multi-process serving fabric (:mod:`repro.serving.fabric`).
+
+The load-bearing guarantees:
+
+* **Shard routing** — :func:`shard_of` is deterministic, uniform over the
+  worker range, *independent of the process* (no ``hash()`` salt), and
+  pinned to golden values so the routing can never silently change between
+  releases (sessions would jump shards mid-deployment).
+* **Shared-memory models** — an engine published with
+  :func:`publish_engine` and re-attached in any process scores
+  bit-identically to the original, through read-only views over the shared
+  segment (no per-worker copy), for every supported precision.
+* **Fabric equivalence** — N-worker sharded serving produces predictions
+  bit-identical to the single-process :class:`StreamingService` at 1, 2
+  and 4 workers (integer-domain engines, whose scores are provably
+  batch-composition invariant).
+* **Hot swap atomicity** — every window submitted before a swap scores
+  against the complete old model, every window after against the complete
+  new one; nothing is dropped or double-scored.
+* **Recovery** — a SIGKILLed worker is rebuilt and its sessions re-opened;
+  serving continues.
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import BoostHD
+from repro.engine import EngineError, compile_model
+from repro.engine.quant import fixed_block_from_codes, packed_block_from_words
+from repro.runtime.executor import resolve_max_workers
+from repro.serving import (
+    DriftMonitor,
+    ServingFabric,
+    StreamingService,
+    attach_engine,
+    cleanup_orphan_segments,
+    publish_engine,
+    shard_of,
+)
+from repro.serving.shm import SEGMENT_PREFIX
+
+pytestmark = pytest.mark.fabric
+
+N_CHANNELS = 4
+WINDOW = 32
+N_FEATURES = N_CHANNELS * 4
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture(scope="module")
+def fitted_pair():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(240, N_FEATURES))
+    y = rng.integers(0, 3, size=240)
+    model_a = BoostHD(total_dim=1024, n_learners=4, epochs=1, seed=0).fit(X, y)
+    model_b = BoostHD(total_dim=1024, n_learners=4, epochs=2, seed=9).fit(X, y)
+    return model_a, model_b
+
+
+@pytest.fixture(scope="module")
+def engines(fitted_pair):
+    model_a, _ = fitted_pair
+    return {
+        precision: compile_model(model_a, precision=precision)
+        if precision != "float64"
+        else compile_model(model_a)
+        for precision in ("float64", "bipolar-packed", "fixed16", "fixed8")
+    }
+
+
+def _streams(n_sessions: int, chunks: int, seed: int = 7):
+    """Interleaved ``(session_id, raw-chunk)`` items, one window per chunk."""
+    rng = np.random.default_rng(seed)
+    items = []
+    for _ in range(chunks):
+        for index in range(n_sessions):
+            items.append((f"subject-{index}", rng.normal(size=(N_CHANNELS, WINDOW))))
+    return items
+
+
+def _serve_single(engine, items, n_sessions: int, **options):
+    """Single-process reference: same sessions, same chunks, one service."""
+    service = StreamingService(
+        engine, n_channels=N_CHANNELS, window_samples=WINDOW, **options
+    )
+    for index in range(n_sessions):
+        service.open_session(f"subject-{index}")
+    predictions = []
+    for session_id, chunk in items:
+        predictions.extend(service.push(session_id, chunk))
+    predictions.extend(service.drain())
+    return predictions
+
+
+def _by_window(predictions):
+    return {(p.session_id, p.window_index): p for p in predictions}
+
+
+# ------------------------------------------------------------- shard routing
+class TestShardRouting:
+    @settings(max_examples=200, deadline=None)
+    @given(session_id=st.text(max_size=64), n_shards=st.integers(1, 64))
+    def test_stable_and_in_range(self, session_id, n_shards):
+        """Property: routing is a pure function of (id, n) into range(n)."""
+        shard = shard_of(session_id, n_shards)
+        assert 0 <= shard < n_shards
+        assert shard == shard_of(session_id, n_shards)
+
+    def test_single_shard_takes_everything(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_golden_routing_is_pinned(self):
+        """Changing the routing function would strand live sessions."""
+        assert [shard_of(f"subject-{i}", 4) for i in range(8)] == [
+            1, 1, 2, 3, 2, 2, 3, 2,
+        ]
+        assert shard_of("wesad-S10", 7) == 0
+        assert shard_of("", 3) == 0
+
+    def test_routing_survives_process_and_hash_salt(self):
+        """The same ids route identically in a fresh interpreter with a
+        different PYTHONHASHSEED — builtin hash() would fail this."""
+        code = (
+            "import sys; sys.path.insert(0, {src!r});"
+            "from repro.serving import shard_of;"
+            "print([shard_of(f'subject-{{i}}', 5) for i in range(16)])"
+        ).format(src=SRC_DIR)
+        env = dict(os.environ, PYTHONHASHSEED="98765")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.returncode == 0, result.stderr
+        expected = [shard_of(f"subject-{i}", 5) for i in range(16)]
+        assert eval(result.stdout.strip()) == expected
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("s", 0)
+
+
+# ------------------------------------------------------------- shared memory
+class TestSharedMemoryModels:
+    @pytest.mark.parametrize(
+        "precision", ["float64", "bipolar-packed", "fixed16", "fixed8"]
+    )
+    def test_attach_is_bit_identical_and_zero_copy(self, engines, precision):
+        engine = engines[precision]
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(40, N_FEATURES))
+        shared = publish_engine(engine, generation=5)
+        try:
+            attached = attach_engine(shared.manifest)
+            try:
+                assert attached.generation == 5
+                assert np.array_equal(
+                    engine.decision_function(queries),
+                    attached.engine.decision_function(queries),
+                )
+                assert np.array_equal(
+                    engine.predict(queries), attached.engine.predict(queries)
+                )
+                # The large arrays are *views* over the shared segment —
+                # nothing was copied, nothing is writable.
+                for array in (
+                    attached.engine._basis2,
+                    attached.engine._bias,
+                    attached.engine._sin_bias,
+                ):
+                    assert not array.flags.owndata
+                    assert not array.flags.writeable
+            finally:
+                attached.close()
+        finally:
+            shared.unlink()
+
+    def test_manifest_is_picklable(self, engines):
+        import pickle
+
+        shared = publish_engine(engines["fixed16"])
+        try:
+            clone = pickle.loads(pickle.dumps(shared.manifest))
+            assert clone["segment"] == shared.name
+        finally:
+            shared.unlink()
+
+    def test_attach_after_unlink_fails(self, engines):
+        shared = publish_engine(engines["fixed16"])
+        manifest = shared.manifest
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_engine(manifest)
+
+    def test_unsupported_engine_rejected(self):
+        with pytest.raises(EngineError, match="cannot publish"):
+            publish_engine(object())
+
+    def test_orphan_cleanup_reclaims_dead_publishers(self):
+        from multiprocessing import resource_tracker, shared_memory
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no POSIX shm filesystem")
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+        )
+        dead_pid = int(probe.stdout)
+        name = f"{SEGMENT_PREFIX}{dead_pid}_deadbeef_g0"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        segment.close()
+        live = f"{SEGMENT_PREFIX}{os.getpid()}_cafef00d_g0"
+        keeper = shared_memory.SharedMemory(name=live, create=True, size=64)
+        try:
+            reclaimed = cleanup_orphan_segments()
+            assert name in reclaimed
+            assert live not in reclaimed  # we are alive
+        finally:
+            keeper.close()
+            keeper.unlink()
+
+    def test_zero_copy_block_constructors_validate(self):
+        with pytest.raises(EngineError, match="uint64"):
+            packed_block_from_words(0, 64, 1.0, np.arange(2), np.zeros((2, 1)))
+        with pytest.raises(EngineError, match="words wide"):
+            packed_block_from_words(
+                0, 128, 1.0, np.arange(2), np.zeros((2, 1), dtype=np.uint64)
+            )
+        with pytest.raises(EngineError, match="int8 or int16"):
+            fixed_block_from_codes(
+                0, 4, 1.0, np.arange(2), np.zeros((4, 2)), 1.0, np.ones(2)
+            )
+        with pytest.raises(EngineError, match="span"):
+            fixed_block_from_codes(
+                0, 5, 1.0, np.arange(2), np.zeros((4, 2), np.int16), 1.0, np.ones(2)
+            )
+        with pytest.raises(EngineError, match="inv_norms"):
+            fixed_block_from_codes(
+                0, 4, 1.0, np.arange(2), np.zeros((4, 2), np.int16), 1.0, np.ones(3)
+            )
+
+
+# --------------------------------------------------------------- equivalence
+class TestFabricEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("precision", ["bipolar-packed", "fixed16"])
+    def test_sharded_serving_matches_single_process(
+        self, engines, n_workers, precision
+    ):
+        """The fabric's predictions are bit-identical to one service's."""
+        engine = engines[precision]
+        items = _streams(n_sessions=6, chunks=8)
+        reference = _by_window(_serve_single(engine, items, 6, max_batch=8))
+        with ServingFabric(
+            engine,
+            n_workers=n_workers,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=8,
+        ) as fabric:
+            assert fabric.n_workers == n_workers
+            for index in range(6):
+                fabric.open_session(f"subject-{index}")
+            predictions = fabric.route(items)
+            predictions.extend(fabric.drain())
+        assert len(predictions) == len(reference)
+        for prediction in predictions:
+            expected = reference[(prediction.session_id, prediction.window_index)]
+            assert prediction.label == expected.label
+            assert np.array_equal(prediction.scores, expected.scores)
+
+    def test_push_and_route_agree(self, engines):
+        engine = engines["fixed16"]
+        items = _streams(n_sessions=3, chunks=4)
+        with ServingFabric(
+            engine,
+            n_workers=2,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=4,
+        ) as fabric:
+            for index in range(3):
+                fabric.open_session(f"subject-{index}")
+            one_by_one = []
+            for session_id, chunk in items:
+                one_by_one.extend(fabric.push(session_id, chunk))
+            one_by_one.extend(fabric.drain())
+        reference = _by_window(_serve_single(engine, items, 3, max_batch=4))
+        assert _by_window(one_by_one).keys() == reference.keys()
+
+    def test_session_bookkeeping(self, engines):
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=2,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+        ) as fabric:
+            shard = fabric.open_session("alpha")
+            assert shard == shard_of("alpha", 2)
+            assert fabric.sessions == ("alpha",)
+            with pytest.raises(ValueError, match="already open"):
+                fabric.open_session("alpha")
+            with pytest.raises(KeyError):
+                fabric.push("ghost", np.zeros((N_CHANNELS, 1)))
+            fabric.close_session("alpha")
+            assert fabric.sessions == ()
+            with pytest.raises(KeyError):
+                fabric.close_session("alpha")
+
+
+# ------------------------------------------------------------------ hot swap
+class _ConstantScorer:
+    """Scores every window as ``value`` — makes 'which model?' observable."""
+
+    def __init__(self, value: int, n_classes: int = 3) -> None:
+        self.value = value
+        self.classes_ = np.arange(n_classes)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        scores = np.zeros((len(X), len(self.classes_)))
+        scores[:, self.value] = 1.0
+        return scores
+
+
+class TestHotSwap:
+    def test_service_swap_scorer_is_atomic(self):
+        """Pending windows score on the OLD scorer, later ones on the NEW."""
+        service = StreamingService(
+            _ConstantScorer(0),
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=10_000,
+            max_wait=1e9,
+        )
+        service.open_session("s")
+        for _, chunk in _streams(1, 5):
+            assert service.push("s", chunk) == []  # everything stays pending
+        flushed = service.swap_scorer(_ConstantScorer(1))
+        assert [p.label for p in flushed] == [0] * 5
+        for _, chunk in _streams(1, 3):
+            service.push("s", chunk)
+        after = service.drain()
+        assert [p.label for p in after] == [1] * 3
+        windows = [(p.session_id, p.window_index) for p in flushed + after]
+        assert sorted(windows) == [("s", i) for i in range(8)]  # none lost/doubled
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_fabric_swap_no_drop_no_double(self, fitted_pair, n_workers):
+        model_a, model_b = fitted_pair
+        engine_a = compile_model(model_a, precision="fixed16")
+        engine_b = compile_model(model_b, precision="fixed16")
+        items = _streams(n_sessions=4, chunks=3)
+        with ServingFabric(
+            engine_a,
+            n_workers=n_workers,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=10_000,
+            max_wait=1e9,
+        ) as fabric:
+            for index in range(4):
+                fabric.open_session(f"subject-{index}")
+            assert fabric.route(items) == []  # all windows pending
+            assert fabric.generation == 0
+            result = fabric.swap(engine_b)
+            assert result.promoted and result.generation == 1
+            assert fabric.generation == 1
+            # Flushed-by-swap predictions are exactly the pending windows,
+            # scored on the complete OLD engine.
+            reference_a = _by_window(
+                _serve_single(engine_a, items, 4, max_batch=10_000, max_wait=1e9)
+            )
+            assert _by_window(result.flushed).keys() == reference_a.keys()
+            for prediction in result.flushed:
+                expected = reference_a[
+                    (prediction.session_id, prediction.window_index)
+                ]
+                assert prediction.label == expected.label
+                assert np.array_equal(prediction.scores, expected.scores)
+            # Windows submitted after the swap score on the NEW engine.
+            later = _streams(n_sessions=4, chunks=2, seed=23)
+            after = fabric.route(later) + fabric.drain()
+            assert len(after) == 8
+            for info in fabric.worker_info():
+                assert info["generation"] == 1
+            seen = [
+                (p.session_id, p.window_index)
+                for p in list(result.flushed) + after
+            ]
+            assert len(seen) == len(set(seen)) == 20  # no drops, no doubles
+
+    def test_swap_gate_declines_without_drift(self, engines, fitted_pair):
+        _, model_b = fitted_pair
+        engine_b = compile_model(model_b, precision="fixed16")
+        monitor = DriftMonitor(window=8, baseline_window=8, ratio=0.5)
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=1,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+        ) as fabric:
+            result = fabric.swap(engine_b, gate=monitor)
+            assert not result.promoted
+            assert fabric.generation == 0
+            assert "declined" in result.reason
+            # A callable gate works the same way.
+            assert not fabric.swap(engine_b, gate=lambda: False).promoted
+            assert fabric.swap(engine_b, gate=lambda: True).promoted
+            assert fabric.generation == 1
+
+    def test_old_segment_is_unlinked_after_swap(self, engines, fitted_pair):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no POSIX shm filesystem")
+        _, model_b = fitted_pair
+        engine_b = compile_model(model_b, precision="fixed16")
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=2,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+        ) as fabric:
+            first = {
+                n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+            }
+            assert len(first) == 1
+            fabric.swap(engine_b)
+            second = {
+                n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+            }
+            assert len(second) == 1 and second != first
+        assert not [
+            n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+        ]
+
+
+# ------------------------------------------------------------------ recovery
+class TestRecovery:
+    def test_killed_worker_is_rebuilt_and_serving_continues(self, engines):
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=2,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=1,
+        ) as fabric:
+            if fabric.serial:
+                pytest.skip("process pools unavailable on this platform")
+            for index in range(4):
+                fabric.open_session(f"subject-{index}")
+            first = fabric.route(_streams(4, 2))
+            assert len(first) == 8
+            os.kill(fabric.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.2)
+            second = fabric.route(_streams(4, 2))
+            assert fabric.restarts >= 1
+            # Recovered sessions restart their windowing, but every shard
+            # keeps serving every session.
+            assert len(second) + len(fabric.drain()) == 8
+            third = fabric.route(_streams(4, 2)) + fabric.drain()
+            assert len(third) == 8
+
+
+# ------------------------------------------------------------- configuration
+class TestWorkerResolution:
+    def test_fabric_env_overrides_generic_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+        monkeypatch.setenv("REPRO_FABRIC_WORKERS", "2")
+        assert (
+            resolve_max_workers(
+                None, env=("REPRO_FABRIC_WORKERS", "REPRO_MAX_WORKERS")
+            )
+            == 2
+        )
+        monkeypatch.delenv("REPRO_FABRIC_WORKERS")
+        assert (
+            resolve_max_workers(
+                None, env=("REPRO_FABRIC_WORKERS", "REPRO_MAX_WORKERS")
+            )
+            == 3
+        )
+        monkeypatch.delenv("REPRO_MAX_WORKERS")
+        assert (
+            resolve_max_workers(
+                None, env=("REPRO_FABRIC_WORKERS", "REPRO_MAX_WORKERS")
+            )
+            == 1
+        )
+
+    def test_explicit_argument_beats_env(self, monkeypatch, engines):
+        monkeypatch.setenv("REPRO_FABRIC_WORKERS", "4")
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=1,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+        ) as fabric:
+            assert fabric.n_workers == 1 and fabric.serial
+
+    def test_env_sizes_the_fabric(self, monkeypatch, engines):
+        monkeypatch.setenv("REPRO_FABRIC_WORKERS", "2")
+        with ServingFabric(
+            engines["fixed16"],
+            serial=True,  # routing is what's under test, not the pools
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+        ) as fabric:
+            assert fabric.n_workers == 2
+
+
+# --------------------------------------------------------------- inspection
+class TestInspection:
+    def test_worker_info_stats_and_repr(self, engines):
+        with ServingFabric(
+            engines["fixed16"],
+            n_workers=2,
+            serial=True,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW,
+            max_batch=4,
+        ) as fabric:
+            for index in range(4):
+                fabric.open_session(f"subject-{index}")
+            fabric.route(_streams(4, 2))
+            fabric.drain()
+            info = fabric.worker_info()
+            assert len(info) == 2
+            assert all(entry["pid"] == os.getpid() for entry in info)  # serial
+            stats = fabric.stats()
+            assert sum(entry["windows"] for entry in stats) == 8
+            assert sum(entry["score_failures"] for entry in stats) == 0
+            assert fabric.model_bytes > 0
+            assert "ServingFabric(" in repr(fabric)

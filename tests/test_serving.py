@@ -234,6 +234,105 @@ class TestMicroBatchScheduler:
         with pytest.raises(ValueError):
             scheduler.submit("s", 0, np.zeros((2, 2)))
 
+    def test_scorer_failure_requeues_batch(self, blobs_split, fitted_models):
+        """Regression: a raising scorer must not silently drop the batch."""
+        _, X_test, _, _ = blobs_split
+        boost, _ = fitted_models
+        engine = boost.compile(dtype=np.float64)
+
+        class Flaky:
+            classes_ = engine.classes_
+
+            def __init__(self):
+                self.fail = False
+
+            def decision_function(self, X):
+                if self.fail:
+                    raise RuntimeError("transient scorer outage")
+                return engine.decision_function(X)
+
+        scorer = Flaky()
+        scheduler = MicroBatchScheduler(scorer, max_batch=4, max_wait=0.0)
+        for row in range(6):
+            scheduler.submit("s", row, X_test[row])
+        scorer.fail = True
+        with pytest.raises(RuntimeError, match="transient scorer outage"):
+            scheduler.flush()
+        # Every window survived the failure, in order, and it was counted.
+        assert scheduler.pending == 6
+        assert scheduler.stats.score_failures == 1
+        assert scheduler.stats.windows_scored == 0
+        scorer.fail = False
+        predictions = scheduler.flush()
+        assert [p.window_index for p in predictions] == list(range(6))
+        expected = engine.predict(X_test[:6])
+        assert [p.label for p in predictions] == list(expected)
+        assert scheduler.pending == 0
+
+    def test_requeued_windows_keep_enqueue_time(self, blobs_split, fitted_models):
+        """Failed windows keep their original enqueue time for latency stats."""
+        _, X_test, _, _ = blobs_split
+        boost, _ = fitted_models
+        engine = boost.compile(dtype=np.float64)
+        calls = {"n": 0}
+
+        class FailsOnce:
+            classes_ = engine.classes_
+
+            def decision_function(self, X):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("boom")
+                return engine.decision_function(X)
+
+        now = [10.0]
+        scheduler = MicroBatchScheduler(
+            FailsOnce(), max_batch=8, max_wait=0.0, clock=lambda: now[0]
+        )
+        scheduler.submit("s", 0, X_test[0])
+        with pytest.raises(RuntimeError):
+            scheduler.flush()
+        now[0] = 12.5
+        (prediction,) = scheduler.flush()
+        assert prediction.queue_seconds == pytest.approx(2.5)
+
+    def test_prediction_scores_are_detached_copies(self, blobs_split, fitted_models):
+        """Regression: scores must not alias the shared (B, k) batch array."""
+        _, X_test, _, _ = blobs_split
+        boost, _ = fitted_models
+        engine = boost.compile(dtype=np.float64)
+        scheduler = MicroBatchScheduler(engine, max_batch=8, max_wait=0.0)
+        for row in range(5):
+            scheduler.submit("s", row, X_test[row])
+        predictions = scheduler.flush()
+        assert all(p.scores.base is None for p in predictions)  # own memory
+        assert all(not p.scores.flags.writeable for p in predictions)
+        with pytest.raises(ValueError):
+            predictions[0].scores[0] = 123.0
+
+    def test_prediction_equality_and_hash(self, blobs_split, fitted_models):
+        """Regression: comparing predictions must not raise for k > 1 scores."""
+        _, X_test, _, _ = blobs_split
+        boost, _ = fitted_models
+        engine = boost.compile(dtype=np.float64)
+
+        import dataclasses
+
+        scheduler = MicroBatchScheduler(engine, max_batch=4, max_wait=0.0)
+        for row in range(3):
+            scheduler.submit("s", row, X_test[row])
+        first = scheduler.flush()
+        # The auto-generated dataclass __eq__ compared the k>1 ndarray with
+        # `==` and raised "truth value of an array is ambiguous"; these
+        # comparisons must all simply work.
+        twin = dataclasses.replace(first[0], scores=first[0].scores.copy())
+        assert first[0] == twin
+        assert first[0] != first[1]
+        assert first[0] != dataclasses.replace(first[0], label=-999)
+        assert first[0] != "not a prediction"
+        assert hash(first[0]) == hash(twin)
+        assert len(set(first) | {twin}) == len(first)  # usable in sets
+
 
 # -------------------------------------------------------------------- registry
 class TestModelRegistry:

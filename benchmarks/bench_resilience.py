@@ -1,0 +1,357 @@
+"""Resilience benchmark: goodput under faults, fast recovery, zero idle cost.
+
+Holds :mod:`repro.resilience` and its serving-layer wiring (ISSUE 9) to the
+house contract — *no window lost, no window double-scored, bit-identical
+predictions when no fault fires*:
+
+* **Goodput under faults** — a 4-worker fabric serving a steady stream
+  while a seeded :class:`~repro.resilience.FaultPlan` injects one worker
+  SIGKILL, one 2s worker hang (against a 1s ``call_timeout``) and 5%
+  scorer exceptions must deliver **every** submitted window exactly once
+  (per-session delivered == per-session submitted) with >= 70% of windows
+  inside the latency deadline.
+* **Recovery time** — a tripped circuit breaker with a healthy dependency
+  must be closed again within 2x its probe interval (injected clock: the
+  bound is exact, not a sleep race).
+* **Idle cost** — with chaos off, a scheduler carrying the full resilience
+  configuration (retry budget, admission bound, degradation ladder) must
+  serve predictions byte-identical to the unguarded scheduler at >= 0.98x
+  its throughput, measured with the same interleaved dual-estimator gate
+  as ``bench_obs.py``.
+
+Fast mode for CI (smaller model, shorter stream, same assertions)::
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m pytest benchmarks/bench_resilience.py -q
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.boosthd import BoostHD
+from repro.data import CHANNELS
+from repro.engine import compile_model
+from repro.resilience import (
+    CLOSED,
+    CircuitBreaker,
+    DegradationLadder,
+    FaultPlan,
+    FaultSpec,
+    inject,
+)
+from repro.runtime import available_cpus
+from repro.serving import MicroBatchScheduler, ServingFabric, shard_of
+
+pytestmark = pytest.mark.resilience
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+#: Goodput-under-faults configuration: paper-precision engine, 4 shards.
+WORKERS = 4
+N_SESSIONS = 8
+CHUNKS_PER_SESSION = 12 if FAST else 32
+TOTAL_DIM = 2_000 if FAST else 10_000
+N_LEARNERS = 10
+#: Per-push latency deadline for the goodput accounting, seconds.
+DEADLINE = 1.0
+#: Fraction of windows that must be delivered inside the deadline.
+GOODPUT_FLOOR = 0.70
+#: Fabric call timeout: converts the injected 2s hang into kill + rebuild.
+CALL_TIMEOUT = 1.0
+
+#: Idle-cost gate (mirrors bench_obs.py): guarded serving >= this fraction
+#: of the unguarded scheduler's throughput, best of two robust estimators,
+#: whole measurement retried up to ATTEMPTS times.
+OVERHEAD_FLOOR = 0.98
+PAIRS = 7 if FAST else 9
+ATTEMPTS = 3
+ROUNDS = 6
+OVERHEAD_TOTAL_DIM = 2_000 if FAST else 10_000
+OVERHEAD_SESSIONS = 64
+OVERHEAD_WINDOWS = 4 if FAST else 8
+
+N_CHANNELS = len(CHANNELS)
+N_FEATURES = N_CHANNELS * 4
+WINDOW_SAMPLES = 64
+
+
+def _fitted_engine(seed=0, total_dim=None):
+    """Paper-configuration ensemble compiled to the fixed16 serving tier."""
+    rng = np.random.default_rng(seed)
+    X_train = rng.standard_normal((96, N_FEATURES)) * 2.0
+    y_train = rng.integers(0, 3, size=96)
+    model = BoostHD(
+        total_dim=total_dim or TOTAL_DIM,
+        n_learners=N_LEARNERS,
+        epochs=0,
+        seed=seed,
+    ).fit(X_train, y_train)
+    return compile_model(model, precision="fixed16")
+
+
+def _session_names():
+    """Session ids covering every shard (so every worker sees traffic)."""
+    names, covered, candidate = [], set(), 0
+    while len(names) < N_SESSIONS:
+        name = f"subject-{candidate}"
+        shard = shard_of(name, WORKERS)
+        # First fill one session per shard, then round out the cohort.
+        if shard not in covered or len(covered) == WORKERS:
+            names.append(name)
+            covered.add(shard)
+        candidate += 1
+    return names
+
+
+def _fault_plan(sessions):
+    """One SIGKILL, one 2s hang, 5% scorer exceptions — all seeded.
+
+    Chaos hit counters are per worker process, so the deterministic ``at``
+    indices are placed near the *end* of each shard's push stream: the
+    rebuilt worker never accumulates enough hits to re-fire, keeping the
+    transport-fault count at exactly one each.
+    """
+    pushes = {shard: 0 for shard in range(WORKERS)}
+    for name in sessions:
+        pushes[shard_of(name, WORKERS)] += CHUNKS_PER_SESSION
+    return FaultPlan(
+        seed=0,
+        faults=(
+            FaultSpec(
+                point="fabric.worker.call",
+                kind="sigkill",
+                at=(max(2, pushes[0] - 2),),
+                match=(("method", "push_many"), ("shard", 0)),
+            ),
+            FaultSpec(
+                point="fabric.worker.call",
+                kind="delay",
+                delay=2.0,
+                at=(max(2, pushes[1] - 2),),
+                match=(("method", "push_many"), ("shard", 1)),
+            ),
+            FaultSpec(point="scheduler.score", kind="exception", probability=0.05),
+        ),
+    )
+
+
+def test_goodput_under_faults():
+    """Every window delivered exactly once; >= 70% inside the deadline."""
+    if available_cpus() < WORKERS:
+        pytest.skip(f"only {available_cpus()} usable core(s): need {WORKERS}")
+    engine = _fitted_engine()
+    sessions = _session_names()
+    plan = _fault_plan(sessions)
+    rng = np.random.default_rng(7)
+    chunks = [
+        (session, rng.standard_normal((N_CHANNELS, WINDOW_SAMPLES)))
+        for _ in range(CHUNKS_PER_SESSION)
+        for session in sessions
+    ]
+    total = len(chunks)
+
+    delivered = []
+    on_time = 0
+    push_failures = 0
+    start_all = time.perf_counter()
+    with inject(plan):
+        with ServingFabric(
+            engine,
+            n_workers=WORKERS,
+            n_channels=N_CHANNELS,
+            window_samples=WINDOW_SAMPLES,
+            max_wait=0.0,
+            call_timeout=CALL_TIMEOUT,
+        ) as fabric:
+            if fabric.serial:
+                pytest.skip("process pools unavailable on this platform")
+            for session in sessions:
+                fabric.open_session(session)
+            for session, chunk in chunks:
+                begin = time.perf_counter()
+                try:
+                    released = fabric.push(session, chunk)
+                except Exception:
+                    # An injected scorer exception: the window stays queued
+                    # in its worker and is delivered by a later call.
+                    push_failures += 1
+                    continue
+                if time.perf_counter() - begin <= DEADLINE:
+                    on_time += len(released)
+                delivered.extend(released)
+            for _ in range(50):  # drain retries through residual 5% faults
+                try:
+                    delivered.extend(fabric.drain())
+                    break
+                except Exception:
+                    push_failures += 1
+            faults_seen = fabric.timeouts + fabric.restarts
+            shard_stats = fabric.stats()
+    elapsed = time.perf_counter() - start_all
+
+    shed = sum(shard["windows_shed"] for shard in shard_stats)
+    dead = sum(shard["windows_dead"] for shard in shard_stats)
+    per_session = {session: 0 for session in sessions}
+    for prediction in delivered:
+        assert not prediction.shed
+        per_session[prediction.session_id] += 1
+    goodput = on_time / total
+    print(
+        f"\nGoodput under faults ({WORKERS} workers, {N_SESSIONS} sessions x "
+        f"{CHUNKS_PER_SESSION} windows, fixed16 D={TOTAL_DIM}): "
+        f"{len(delivered)}/{total} delivered, {goodput:.0%} on time "
+        f"(floor {GOODPUT_FLOOR:.0%}), {push_failures} injected failures, "
+        f"timeouts+restarts={faults_seen}, shed={shed}, dead={dead}, "
+        f"{elapsed:.1f}s"
+    )
+    # No loss, no double-scoring: per-session delivered == per-session pushed.
+    assert per_session == {session: CHUNKS_PER_SESSION for session in sessions}
+    assert shed == 0 and dead == 0
+    assert faults_seen >= 2  # both transport faults actually fired
+    assert push_failures >= 1  # the 5% scorer-exception stream fired too
+    assert goodput >= GOODPUT_FLOOR, (
+        f"only {goodput:.0%} of windows inside the {DEADLINE}s deadline "
+        f"under faults (required >= {GOODPUT_FLOOR:.0%})"
+    )
+
+
+def test_breaker_recovers_within_two_probe_intervals():
+    """Healthy dependency: trip -> closed again in <= 2x probe_interval."""
+
+    class Clock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = Clock()
+    breaker = CircuitBreaker(
+        failure_threshold=1, probe_interval=0.5, clock=clock
+    )
+    breaker.record_failure()  # trip at t=0
+    tripped_at = clock.now
+    recovered_at = None
+    while clock.now - tripped_at < 4 * breaker.probe_interval:
+        clock.now += 0.05
+        if breaker.allow():  # the dependency is healthy again
+            breaker.record_success()
+            if breaker.state == CLOSED:
+                recovered_at = clock.now
+                break
+    assert recovered_at is not None, "breaker never recovered"
+    recovery = recovered_at - tripped_at
+    print(
+        f"\nBreaker recovery: tripped at t=0, closed at t={recovery:.2f}s "
+        f"(probe interval {breaker.probe_interval}s, "
+        f"bound {2 * breaker.probe_interval}s)"
+    )
+    assert recovery <= 2 * breaker.probe_interval
+
+
+def _overhead_workload(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((3, N_FEATURES)) * 3.0
+    X_train = np.vstack([c + rng.standard_normal((48, N_FEATURES)) for c in centers])
+    y_train = np.repeat(np.arange(3), 48)
+    model = BoostHD(
+        total_dim=OVERHEAD_TOTAL_DIM, n_learners=N_LEARNERS, epochs=0, seed=seed
+    ).fit(X_train, y_train)
+    engine = compile_model(model, precision="fixed16")
+    features = rng.standard_normal(
+        (OVERHEAD_SESSIONS, OVERHEAD_WINDOWS, N_FEATURES)
+    )
+    order = [
+        (session, window)
+        for window in range(OVERHEAD_WINDOWS)
+        for session in range(OVERHEAD_SESSIONS)
+    ]
+    return engine, order, features
+
+
+def _serve_once(engine, order, features, *, guarded, rounds=1):
+    """``rounds`` micro-batched passes; returns (seconds, {key: scores}).
+
+    ``guarded=True`` runs the full resilience configuration — bounded
+    retries, an admission bound and an (idle) degradation ladder — exactly
+    as a production service would carry it; ``guarded=False`` is the
+    unguarded pre-resilience scheduler.
+    """
+    if guarded:
+        scheduler = MicroBatchScheduler(
+            engine,
+            max_batch=64,
+            max_wait=1e9,
+            max_retries=5,
+            max_pending=100_000,
+            degradation=DegradationLadder(engine, deadline=3600.0),
+        )
+    else:
+        scheduler = MicroBatchScheduler(
+            engine, max_batch=64, max_wait=1e9, max_retries=None
+        )
+    start = time.perf_counter()
+    for _ in range(rounds):
+        released = []
+        for session, window in order:
+            scheduler.submit(f"s{session}", window, features[session, window])
+            released.extend(scheduler.pump())
+        released.extend(scheduler.flush())
+    seconds = time.perf_counter() - start
+    scores = {
+        (prediction.session_id, prediction.window_index): prediction.scores
+        for prediction in released
+    }
+    assert not any(p.shed or p.degraded for p in released)
+    return seconds, scores
+
+
+def test_idle_resilience_overhead_under_two_percent():
+    """Chaos off: guarded serving >= 0.98x unguarded, identical predictions."""
+    engine, order, features = _overhead_workload()
+    n_windows = len(order)
+
+    # Warm both paths (BLAS spin-up, allocators, ladder construction).
+    _serve_once(engine, order, features, guarded=False)
+    _serve_once(engine, order, features, guarded=True)
+
+    # Bit identity: the full resilience configuration at rest changes nothing.
+    _, plain_scores = _serve_once(engine, order, features, guarded=False)
+    _, guarded_scores = _serve_once(engine, order, features, guarded=True)
+    assert plain_scores.keys() == guarded_scores.keys()
+    for key, scores in plain_scores.items():
+        np.testing.assert_array_equal(scores, guarded_scores[key])
+
+    def _measure():
+        plain_seconds, guarded_seconds = [], []
+        for pair in range(PAIRS):
+            passes = ((False, True), (True, False))[pair % 2]
+            for guarded in passes:
+                seconds, _ = _serve_once(
+                    engine, order, features, guarded=guarded, rounds=ROUNDS
+                )
+                (guarded_seconds if guarded else plain_seconds).append(seconds)
+        min_ratio = min(plain_seconds) / min(guarded_seconds)
+        median_ratio = statistics.median(plain_seconds) / statistics.median(
+            guarded_seconds
+        )
+        return max(min_ratio, median_ratio), min(plain_seconds), min(guarded_seconds)
+
+    for attempt in range(1, ATTEMPTS + 1):
+        ratio, plain_best, guarded_best = _measure()
+        print(
+            f"\nIdle resilience overhead attempt {attempt}/{ATTEMPTS} "
+            f"({OVERHEAD_SESSIONS} sessions x {OVERHEAD_WINDOWS} windows x "
+            f"{ROUNDS} rounds, fixed16 D={OVERHEAD_TOTAL_DIM}, {PAIRS} pairs):\n"
+            f"  unguarded : {n_windows * ROUNDS / plain_best:10.0f} windows/s (best)\n"
+            f"  guarded   : {n_windows * ROUNDS / guarded_best:10.0f} windows/s (best)\n"
+            f"  ratio     : {ratio:.4f}x (floor {OVERHEAD_FLOOR}x)"
+        )
+        if ratio >= OVERHEAD_FLOOR:
+            break
+    assert ratio >= OVERHEAD_FLOOR, (
+        f"guarded serving only {ratio:.4f}x the unguarded throughput after "
+        f"{ATTEMPTS} attempts (required >= {OVERHEAD_FLOOR}x)"
+    )

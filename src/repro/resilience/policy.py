@@ -1,0 +1,426 @@
+"""Failure-policy primitives: deadlines, retries, circuit breakers.
+
+The serving stack built by PRs 2-8 is fast but trusting: every cross-process
+call waits forever, every failure is retried forever, and a misbehaving
+dependency is hammered at full rate until something else breaks.  This
+module provides the three small, composable policies the rest of
+:mod:`repro.resilience` (and the serving fabric) is built from:
+
+* :class:`Deadline` — an absolute time budget that can be split across the
+  calls it covers (``budget()`` caps each per-call timeout by what is left);
+* :class:`RetryPolicy` — bounded exponential backoff whose jitter is a pure
+  function of ``(seed, attempt)``, so a retry schedule is reproducible
+  bit-for-bit across processes and runs (the repo's determinism house rule
+  applies to failure handling too);
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine: consecutive failures trip the circuit, tripped circuits fail
+  fast instead of re-hitting the dead dependency, and a probe is admitted
+  after ``probe_interval`` to test recovery.
+
+All three take an injectable monotonic ``clock`` so every policy decision is
+unit-testable without sleeping, and none of them imports the serving layer
+(dependencies point ``serving -> resilience``, never back).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from typing import Callable
+
+from ..obs import OBS
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryError",
+    "RetryPolicy",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A deadline expired before the work it covered completed."""
+
+
+class Deadline:
+    """An absolute time budget shared by every call it is threaded through.
+
+    A deadline is created once at the edge of an operation
+    (``Deadline(0.5)``) and passed down; each layer asks :meth:`remaining`
+    or :meth:`budget` for the per-call timeout it may still spend.  Unlike a
+    per-call timeout, a deadline cannot be stretched by a chain of slow
+    calls each individually under the limit.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; ``math.inf`` (or :meth:`never`) means unbounded.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(self, seconds: float, *, clock: Callable[[], float] = time.monotonic):
+        seconds = float(seconds)
+        if not seconds >= 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        self.clock = clock
+        self.expires_at = clock() + seconds
+
+    @classmethod
+    def never(cls, *, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A deadline that never expires (``remaining()`` is ``inf``)."""
+        return cls(math.inf, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0.0; ``inf`` for an unbounded deadline)."""
+        if math.isinf(self.expires_at):
+            return math.inf
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent (an unbounded deadline never is)."""
+        return not math.isinf(self.expires_at) and self.remaining() == 0.0
+
+    def budget(self, cap: float | None = None) -> float | None:
+        """Per-call timeout under this deadline, optionally capped.
+
+        Returns ``min(remaining, cap)``; ``None`` (meaning "no timeout")
+        only when the deadline is unbounded *and* no cap was given.  An
+        expired deadline returns ``0.0`` so the next blocking call fails
+        immediately instead of hanging.
+        """
+        remaining = self.remaining()
+        if cap is not None:
+            remaining = min(remaining, float(cap))
+        return None if math.isinf(remaining) else remaining
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class RetryError(RuntimeError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    ``__cause__`` carries the last underlying exception.
+    """
+
+
+def _jitter_fraction(seed: int, attempt: int) -> float:
+    """Deterministic uniform-ish fraction in [0, 1) from ``(seed, attempt)``.
+
+    A hash rather than a stateful RNG: the jitter of attempt ``k`` must not
+    depend on how many *other* retries the process has performed, or retry
+    schedules would differ between otherwise identical runs.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with seeded deterministic jitter.
+
+    ``delay(k)`` for the ``k``-th retry (1-based) is
+    ``min(max_delay, base_delay * multiplier**(k-1))`` scaled by a jitter
+    factor in ``[1 - jitter, 1 + jitter)`` derived purely from
+    ``(seed, k)`` — the same policy object (or an equal one) always
+    produces the same schedule.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (first call + retries); must be >= 1.
+    base_delay, multiplier, max_delay:
+        The exponential schedule before jitter.
+    jitter:
+        Relative jitter half-width in [0, 1).
+    seed:
+        Jitter seed; two policies with equal parameters and seeds sleep
+        identically.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "max_delay", "multiplier", "jitter", "seed")
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the ``attempt``-th retry (1-based), in seconds."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        fraction = _jitter_fraction(self.seed, attempt)
+        return raw * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule (``max_attempts - 1`` entries)."""
+        return tuple(self.delay(k) for k in range(1, self.max_attempts))
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        deadline: Deadline | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` under this policy; raise :class:`RetryError` when spent.
+
+        Retries only exceptions in ``retry_on``; anything else propagates
+        immediately.  A ``deadline`` bounds the *whole* attempt sequence:
+        backoff sleeps are clipped to the remaining budget and an expired
+        deadline stops retrying (raising :class:`RetryError` from the last
+        failure).
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as error:
+                last = error
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_retry_attempts_failed_total",
+                        "Attempts that failed under a RetryPolicy.",
+                    ).inc()
+                if attempt == self.max_attempts:
+                    break
+                pause = self.delay(attempt)
+                if deadline is not None:
+                    budget = deadline.remaining()
+                    if budget <= 0.0:
+                        break
+                    pause = min(pause, budget)
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if pause > 0.0:
+                    sleep(pause)
+        raise RetryError(
+            f"all {self.max_attempts} attempts failed ({type(last).__name__}: {last})"
+        ) from last
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RetryPolicy):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay}, "
+            f"multiplier={self.multiplier}, jitter={self.jitter}, "
+            f"seed={self.seed})"
+        )
+
+
+#: Circuit-breaker states (plain strings so they repr/pickle trivially).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(RuntimeError):
+    """A call was refused because its circuit breaker is open.
+
+    ``retry_in`` is the breaker's estimate of the seconds until the next
+    probe will be admitted (0.0 when a probe is already due).
+    """
+
+    def __init__(self, message: str, *, retry_in: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_in = float(retry_in)
+
+    def __reduce__(self):  # keep picklability across process boundaries
+        return (type(self), (self.args[0],), {"retry_in": self.retry_in})
+
+    def __setstate__(self, state):
+        self.retry_in = state["retry_in"]
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker guarding one unreliable dependency.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+      trip the breaker open (a success resets the count).
+    * **open** — :meth:`allow` returns ``False`` (callers fail fast) until
+      ``probe_interval`` seconds have passed, then the breaker moves to
+      half-open and admits probes.
+    * **half-open** — calls are admitted; ``success_threshold`` consecutive
+      successes close the breaker, any failure re-opens it (restarting the
+      probe interval).
+
+    The breaker is a pure policy object: it never performs calls itself,
+    callers consult :meth:`allow` and report outcomes via
+    :meth:`record_success` / :meth:`record_failure`.  Single-threaded by
+    design, like the fabric's dispatch loop that owns one per shard.
+    """
+
+    __slots__ = (
+        "name",
+        "failure_threshold",
+        "probe_interval",
+        "success_threshold",
+        "clock",
+        "_state",
+        "_failures",
+        "_successes",
+        "_opened_at",
+        "trips",
+        "recoveries",
+    )
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        probe_interval: float = 0.5,
+        success_threshold: int = 1,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if probe_interval < 0:
+            raise ValueError(f"probe_interval must be >= 0, got {probe_interval}")
+        if success_threshold < 1:
+            raise ValueError(f"success_threshold must be >= 1, got {success_threshold}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.probe_interval = float(probe_interval)
+        self.success_threshold = int(success_threshold)
+        self.clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._successes = 0
+        self._opened_at = 0.0
+        #: Lifetime count of closed->open transitions.
+        self.trips = 0
+        #: Lifetime count of half-open->closed transitions.
+        self.recoveries = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an expired open interval reads as half-open."""
+        if self._state == OPEN and self.time_until_probe() == 0.0:
+            return HALF_OPEN
+        return self._state
+
+    def time_until_probe(self) -> float:
+        """Seconds until a probe is admitted (0.0 unless open and waiting)."""
+        if self._state != OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.probe_interval - self.clock())
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the open state this is where the probe-due transition happens:
+        once ``probe_interval`` has elapsed the breaker moves to half-open
+        and admits the call as a probe.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self.time_until_probe() > 0.0:
+                return False
+            self._state = HALF_OPEN
+            self._successes = 0
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_breaker_probes_total",
+                    "Half-open probe calls admitted by circuit breakers.",
+                ).inc()
+        return True
+
+    def record_success(self) -> None:
+        """Report a successful call (closes a half-open breaker)."""
+        if self._state == HALF_OPEN:
+            self._successes += 1
+            if self._successes >= self.success_threshold:
+                self._state = CLOSED
+                self._failures = 0
+                self.recoveries += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_breaker_recoveries_total",
+                        "Circuit breakers closed again after a successful probe.",
+                    ).inc()
+        else:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """Report a failed call (may trip the breaker open)."""
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._failures = 0
+        self._successes = 0
+        self.trips += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_breaker_trips_total",
+                "Circuit breakers tripped open.",
+            ).inc()
+
+    def reset(self) -> None:
+        """Force the breaker closed (administrative override)."""
+        self._state = CLOSED
+        self._failures = 0
+        self._successes = 0
+
+    def __repr__(self) -> str:
+        label = f"name={self.name!r}, " if self.name else ""
+        return (
+            f"CircuitBreaker({label}state={self.state!r}, "
+            f"failures={self._failures}/{self.failure_threshold}, "
+            f"trips={self.trips}, recoveries={self.recoveries})"
+        )

@@ -32,6 +32,12 @@ engine (:mod:`repro.engine`) into a long-running service:
   scale-out: sessions sharded across N workers by a stable id hash, all
   scoring one shared model copy, with drift-gated blue/green hot swap.
 
+Failure semantics across the layer come from :mod:`repro.resilience`:
+bounded retries with dead-lettering and explicit load shedding in the
+scheduler, per-shard circuit breakers / call timeouts / hung-worker
+recovery in the fabric, checksum-verified segments and crash-safe registry
+writes underneath — see ``docs/resilience.md``.
+
 Quick start::
 
     registry = ModelRegistry("models")
@@ -55,27 +61,38 @@ within 1e-9 of the batch pipeline, and exact registry round trips.
 from .adaptation import AdaptiveModel, DriftMonitor
 from .fabric import ServingFabric, SwapResult, shard_of
 from .registry import ModelRecord, ModelRegistry, RegistryError
-from .scheduler import MicroBatchScheduler, Prediction, SchedulerStats
+from .scheduler import (
+    SHED,
+    DeadLetter,
+    MicroBatchScheduler,
+    Prediction,
+    SchedulerStats,
+)
 from .service import StreamingService
 from .session import ReadyWindow, StreamSession
 from .shm import (
     AttachedEngine,
+    IntegrityError,
     SharedModel,
     attach_engine,
     cleanup_orphan_segments,
     publish_engine,
+    verify_manifest,
 )
 
 __all__ = [
     "AdaptiveModel",
     "AttachedEngine",
+    "DeadLetter",
     "DriftMonitor",
+    "IntegrityError",
     "ModelRecord",
     "ModelRegistry",
     "RegistryError",
     "MicroBatchScheduler",
     "Prediction",
     "SchedulerStats",
+    "SHED",
     "ServingFabric",
     "SharedModel",
     "StreamingService",
@@ -86,4 +103,5 @@ __all__ = [
     "cleanup_orphan_segments",
     "publish_engine",
     "shard_of",
+    "verify_manifest",
 ]

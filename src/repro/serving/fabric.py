@@ -28,6 +28,21 @@ host:
   re-opens the shard's sessions from the parent-side ledger, and retries
   the call once.  Recovered sessions restart their windowing state (the
   raw-sample tail of a dead process is not recoverable by design).
+* **Resilience** (:mod:`repro.resilience`) — every worker call carries a
+  ``call_timeout``; a *wedged* (hung, not dead) worker is SIGKILLed on
+  timeout and recovered like a crash, so drain and swap can never block
+  forever.  One :class:`~repro.resilience.CircuitBreaker` per shard counts
+  *unrecovered* transport failures (timeout / broken pool where the
+  rebuild-and-retry also failed); a tripped shard fails fast with
+  :class:`~repro.resilience.CircuitOpenError` until a probe is due, and
+  the probe itself is a full recovery attempt.  Scorer exceptions inside a
+  worker are application failures and never count toward the breaker.
+  Published segments carry per-array checksums (:mod:`repro.serving.shm`):
+  a corrupted incoming generation is rejected parent-side before any
+  worker attaches it, and a worker that finds its segment damaged falls
+  back to copy-loading the model from a :class:`ModelRegistry` when the
+  fabric was given a ``fallback`` spec.  An installed chaos plan
+  (:mod:`repro.resilience.chaos`) is forwarded to every worker.
 
 Worker counts resolve like every other pool in the repo
 (:func:`repro.runtime.executor.resolve_max_workers`), consulting
@@ -40,18 +55,29 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 from collections import defaultdict
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..obs import OBS
+from ..resilience.chaos import CHAOS, FaultPlan, install as install_chaos
+from ..resilience.policy import CircuitBreaker, CircuitOpenError, Deadline
 from ..runtime.executor import resolve_max_workers
 from .scheduler import Prediction
 from .service import StreamingService
-from .shm import AttachedEngine, attach_engine, cleanup_orphan_segments, publish_engine
+from .shm import (
+    AttachedEngine,
+    IntegrityError,
+    attach_engine,
+    cleanup_orphan_segments,
+    publish_engine,
+    verify_manifest,
+)
 
 __all__ = [
     "ServingFabric",
@@ -97,13 +123,74 @@ def process_uss() -> int | None:
 
 
 # ----------------------------------------------------------------- runtime
+class _CopyLoadedEngine:
+    """Attachment-shaped handle over a registry copy-load.
+
+    Stands in for :class:`AttachedEngine` when a worker refused a corrupted
+    shared segment and fell back to loading the model from the registry:
+    same ``engine`` / ``generation`` / ``close()`` surface, but the arrays
+    are a private copy — correctness is preserved at the cost of the
+    zero-copy memory win, until the next healthy swap re-attaches.
+    """
+
+    def __init__(self, engine, generation: int) -> None:
+        self.engine = engine
+        self.generation = int(generation)
+
+    def close(self) -> None:
+        self.engine = None
+
+
+def _fallback_engine(spec: dict):
+    """Copy-load the fabric's model from a registry fallback spec."""
+    from .registry import ModelRegistry
+
+    registry = ModelRegistry(spec["root"])
+    return registry.load_compiled(
+        spec["name"],
+        spec.get("version"),
+        precision=spec.get("precision", "float64"),
+        **dict(spec.get("compile_options") or {}),
+    )
+
+
 class _ShardRuntime:
     """One shard's in-worker state: the attached engine and its service."""
 
-    def __init__(self, manifest: dict, service_options: dict, index: int) -> None:
+    def __init__(
+        self,
+        manifest: dict,
+        service_options: dict,
+        index: int,
+        fallback: dict | None = None,
+    ) -> None:
         self.index = index
-        self.attached: AttachedEngine = attach_engine(manifest)
+        self.fallback = fallback
+        self.integrity_fallbacks = 0
+        self.attached = self._attach(manifest)
         self.service = StreamingService(self.attached.engine, **service_options)
+
+    def _attach(self, manifest: dict) -> AttachedEngine | _CopyLoadedEngine:
+        """Attach a verified segment, or copy-load from the registry fallback.
+
+        A segment that fails checksum verification is *never* served from;
+        with no fallback configured the :exc:`IntegrityError` propagates
+        (the shard refuses to come up on corrupt data — loud beats wrong).
+        """
+        try:
+            return attach_engine(manifest)
+        except IntegrityError:
+            if self.fallback is None:
+                raise
+            engine = _fallback_engine(self.fallback)
+            self.integrity_fallbacks += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_fabric_integrity_fallbacks_total",
+                    "Workers that refused a corrupt segment and copy-loaded "
+                    "the model from the registry.",
+                ).inc()
+            return _CopyLoadedEngine(engine, manifest["generation"])
 
     @property
     def generation(self) -> int:
@@ -133,7 +220,7 @@ class _ShardRuntime:
         the old engine is still the scheduler's scorer, so every in-flight
         window scores against exactly one complete model.
         """
-        incoming = attach_engine(manifest)
+        incoming = self._attach(manifest)
         flushed = self.service.swap_scorer(incoming.engine)
         outgoing, self.attached = self.attached, incoming
         try:
@@ -149,6 +236,10 @@ class _ShardRuntime:
             "batches": stats.batches,
             "score_failures": stats.score_failures,
             "mean_batch": stats.mean_batch_size,
+            "windows_submitted": stats.windows_submitted,
+            "windows_shed": stats.windows_shed,
+            "windows_dead": stats.windows_dead,
+            "integrity_fallbacks": self.integrity_fallbacks,
         }
 
     def info(self) -> dict:
@@ -172,7 +263,12 @@ _RUNTIME: _ShardRuntime | None = None
 
 
 def _worker_init(
-    manifest: dict, service_options: dict, index: int, obs_enabled: bool
+    manifest: dict,
+    service_options: dict,
+    index: int,
+    obs_enabled: bool,
+    chaos_json: str | None = None,
+    fallback: dict | None = None,
 ) -> None:
     global _RUNTIME
     if obs_enabled:
@@ -183,10 +279,20 @@ def _worker_init(
         from ..obs.trace import SpanRecorder
 
         enable(MetricsRegistry(), SpanRecorder())
-    _RUNTIME = _ShardRuntime(manifest, service_options, index)
+    if chaos_json:
+        # The parent's fault plan, replayed in this worker: same seed, same
+        # per-spec RNG streams, independent hit counters.
+        install_chaos(FaultPlan.from_json(chaos_json))
+    _RUNTIME = _ShardRuntime(manifest, service_options, index, fallback)
 
 
 def _worker_call(method: str, *args):
+    if CHAOS.enabled:
+        CHAOS.hit(
+            "fabric.worker.call",
+            method=method,
+            shard=None if _RUNTIME is None else _RUNTIME.index,
+        )
     return getattr(_RUNTIME, method)(*args)
 
 
@@ -194,10 +300,13 @@ def _worker_call(method: str, *args):
 class _LocalShard:
     """In-process shard: the serial fallback, same routing, same results."""
 
-    def __init__(self, index, manifest, service_options, obs_enabled) -> None:
+    def __init__(
+        self, index, manifest, service_options, obs_enabled, fallback=None
+    ) -> None:
         self.index = index
         self.manifest = manifest
-        self.runtime = _ShardRuntime(manifest, service_options, index)
+        self.pid = os.getpid()
+        self.runtime = _ShardRuntime(manifest, service_options, index, fallback)
 
     def submit(self, method: str, *args) -> Future:
         future: Future = Future()
@@ -206,6 +315,9 @@ class _LocalShard:
         except BaseException as error:
             future.set_exception(error)
         return future
+
+    def kill(self) -> None:
+        """No-op: an in-process shard cannot be killed without the fabric."""
 
     def shutdown(self) -> None:
         self.runtime.shutdown()
@@ -220,22 +332,35 @@ class _ProcessShard:
     only one place to go.
     """
 
-    def __init__(self, index, manifest, service_options, obs_enabled) -> None:
+    def __init__(
+        self, index, manifest, service_options, obs_enabled, fallback=None
+    ) -> None:
         self.index = index
         self.manifest = manifest
         self._service_options = service_options
         self._obs_enabled = obs_enabled
+        self._fallback = fallback
+        self.pid: int | None = None
         self.pool = self._spawn()
 
     def _spawn(self) -> ProcessPoolExecutor:
+        chaos_json = CHAOS.plan.to_json() if CHAOS.enabled else None
         pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=_worker_init,
-            initargs=(self.manifest, self._service_options, self.index, self._obs_enabled),
+            initargs=(
+                self.manifest,
+                self._service_options,
+                self.index,
+                self._obs_enabled,
+                chaos_json,
+                self._fallback,
+            ),
         )
         # Force the worker up now so initializer failures surface here, not
-        # on some later scoring call.
-        pool.submit(_worker_call, "info").result()
+        # on some later scoring call — and learn the worker pid, which is
+        # what lets a wedged (hung, not dead) worker be killed on timeout.
+        self.pid = pool.submit(_worker_call, "info").result()["pid"]
         return pool
 
     def submit(self, method: str, *args) -> Future:
@@ -249,6 +374,21 @@ class _ProcessShard:
             future.set_exception(error)
             return future
 
+    def kill(self) -> None:
+        """SIGKILL the worker process (used when a call times out).
+
+        A hung worker holds its pool hostage: futures never resolve and a
+        graceful shutdown joins forever.  Killing the process breaks the
+        pool, which converts the hang into the crash path the fabric
+        already knows how to recover from.
+        """
+        if self.pid is None:
+            return
+        try:
+            os.kill(self.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):  # pragma: no cover
+            pass
+
     def rebuild(self) -> None:
         self.pool.shutdown(wait=False, cancel_futures=True)
         self.pool = self._spawn()
@@ -256,8 +396,12 @@ class _ProcessShard:
     def shutdown(self) -> None:
         try:
             self.pool.submit(_worker_call, "shutdown").result(timeout=30)
-        except Exception:  # pragma: no cover - worker already gone
-            pass
+        except Exception:
+            # Dead or wedged worker: kill it so the pool teardown cannot
+            # join a process that will never exit on its own.
+            self.kill()
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            return
         self.pool.shutdown()
 
 
@@ -292,6 +436,20 @@ class ServingFabric:
     cleanup_orphans:
         Reclaim shared-memory segments leaked by dead fabrics at startup
         (:func:`repro.serving.shm.cleanup_orphan_segments`).
+    call_timeout:
+        Per-call timeout, seconds, on every worker future (``None`` =
+        unbounded, the pre-PR-9 behaviour).  A timed-out worker is treated
+        as wedged: SIGKILLed and recovered like a crash, so no drain or
+        swap can block forever on one hung process.
+    breaker_options:
+        Keyword arguments for each shard's
+        :class:`~repro.resilience.CircuitBreaker` (``failure_threshold``,
+        ``probe_interval``, ``success_threshold``).
+    fallback:
+        Registry copy-load spec — ``{"root", "name", "version",
+        "precision", "compile_options"}`` — a worker uses when its shared
+        segment fails checksum verification.  :meth:`from_registry` fills
+        this in automatically.
     **service_options:
         Forwarded to each worker's :class:`StreamingService` —
         ``n_channels``, ``window_samples``, ``max_batch``, ``max_wait``,
@@ -305,18 +463,28 @@ class ServingFabric:
         n_workers: int | str | None = None,
         serial: bool = False,
         cleanup_orphans: bool = True,
+        call_timeout: float | None = 30.0,
+        breaker_options: dict | None = None,
+        fallback: dict | None = None,
         **service_options,
     ) -> None:
         if cleanup_orphans:
             cleanup_orphan_segments()
         self.n_workers = resolve_max_workers(n_workers, env=WORKER_ENV)
         self._service_options = dict(service_options)
+        self.call_timeout = None if call_timeout is None else float(call_timeout)
+        self.fallback = fallback
         self._shared = publish_engine(engine, generation=0)
         self._session_specs: dict[str, dict] = {}
         self.restarts = 0
         self.swaps = 0
+        self.timeouts = 0
         self.serial = bool(serial) or self.n_workers <= 1
         self._shards: list = []
+        self.breakers = [
+            CircuitBreaker(name=f"shard{index}", **dict(breaker_options or {}))
+            for index in range(self.n_workers)
+        ]
         try:
             self._build_shards()
         except BaseException:
@@ -331,7 +499,11 @@ class ServingFabric:
                 for index in range(self.n_workers):
                     self._shards.append(
                         _ProcessShard(
-                            index, manifest, self._service_options, obs_enabled
+                            index,
+                            manifest,
+                            self._service_options,
+                            obs_enabled,
+                            self.fallback,
                         )
                     )
             except Exception:
@@ -343,7 +515,9 @@ class ServingFabric:
                 self.serial = True
         if self.serial:
             self._shards = [
-                _LocalShard(index, manifest, self._service_options, obs_enabled)
+                _LocalShard(
+                    index, manifest, self._service_options, obs_enabled, self.fallback
+                )
                 for index in range(self.n_workers)
             ]
 
@@ -368,19 +542,86 @@ class ServingFabric:
         engine = registry.load_compiled(
             name, version, precision=precision, **compile_options
         )
+        options.setdefault(
+            "fallback",
+            {
+                "root": str(registry.root),
+                "name": name,
+                "version": registry.latest(name) if version is None else int(version),
+                "precision": precision,
+                "compile_options": dict(compile_options),
+            },
+        )
         return cls(engine, n_workers=n_workers, **options)
 
-    def _call(self, shard_index: int, method: str, *args):
-        """One shard call with single-retry worker recovery."""
-        future = self._shards[shard_index].submit(method, *args)
-        return self._result(shard_index, future, method, args)
+    def _admit(self, shard_index: int) -> None:
+        """Consult the shard's breaker; fail fast when the circuit is open."""
+        breaker = self.breakers[shard_index]
+        if not breaker.allow():
+            raise CircuitOpenError(
+                f"shard {shard_index} circuit is open "
+                f"(trips={breaker.trips}); failing fast",
+                retry_in=breaker.time_until_probe(),
+            )
 
-    def _result(self, shard_index: int, future: Future, method: str, args):
+    def _timeout(self, deadline: Deadline | None) -> float | None:
+        if deadline is None:
+            return self.call_timeout
+        return deadline.budget(self.call_timeout)
+
+    def _call(self, shard_index: int, method: str, *args, deadline=None):
+        """One shard call: breaker admission, timeout, single-retry recovery."""
+        self._admit(shard_index)
+        future = self._shards[shard_index].submit(method, *args)
+        return self._result(shard_index, future, method, args, deadline=deadline)
+
+    def _result(
+        self,
+        shard_index: int,
+        future: Future,
+        method: str,
+        args,
+        *,
+        deadline: Deadline | None = None,
+    ):
+        """Resolve one worker future under the shard's failure policy.
+
+        Transport failures — a broken pool, or a timeout (the worker is
+        wedged and gets SIGKILLed first) — trigger one rebuild-and-retry;
+        the shard's breaker records a failure only when the *retry* also
+        fails, so a breaker trip means the shard is unrecoverable right
+        now, not merely that one worker died.  When the breaker is open, a
+        due probe admitted by :meth:`_admit` runs this exact path — the
+        probe *is* a recovery attempt.  Application exceptions raised by
+        the scorer pass through untouched and never count.
+        """
+        breaker = self.breakers[shard_index]
         try:
-            return future.result()
-        except BrokenProcessPool:
-            self._recover(shard_index)
-            return self._shards[shard_index].submit(method, *args).result()
+            result = future.result(timeout=self._timeout(deadline))
+        except (BrokenProcessPool, FuturesTimeoutError) as error:
+            if isinstance(error, FuturesTimeoutError):
+                self._handle_timeout(shard_index, method)
+            try:
+                self._recover(shard_index)
+                if deadline is not None:
+                    deadline.check(f"fabric {method} call")
+                retry = self._shards[shard_index].submit(method, *args)
+                result = retry.result(timeout=self._timeout(deadline))
+            except BaseException:
+                breaker.record_failure()
+                raise
+        breaker.record_success()
+        return result
+
+    def _handle_timeout(self, shard_index: int, method: str) -> None:
+        """Convert a hung worker into the crash path: SIGKILL + account."""
+        self._shards[shard_index].kill()
+        self.timeouts += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_fabric_call_timeouts_total",
+                "Worker calls that exceeded call_timeout (worker killed).",
+            ).inc()
 
     def _recover(self, shard_index: int) -> None:
         """Rebuild a dead worker and replay its session registrations."""
@@ -389,7 +630,9 @@ class ServingFabric:
         shard.rebuild()
         for session_id, overrides in self._session_specs.items():
             if shard_of(session_id, self.n_workers) == shard_index:
-                shard.submit("open", session_id, overrides).result()
+                shard.submit("open", session_id, overrides).result(
+                    timeout=self.call_timeout
+                )
         self.restarts += 1
         if OBS.enabled:
             OBS.metrics.counter(
@@ -436,6 +679,8 @@ class ServingFabric:
                 raise KeyError(f"no open session {session_id!r}")
             shard = shard_of(session_id, self.n_workers)
             groups[shard].append((session_id, np.asarray(samples)))
+        for shard in groups:
+            self._admit(shard)
         futures = {
             shard: self._shards[shard].submit("push_many", batch)
             for shard, batch in groups.items()
@@ -447,14 +692,24 @@ class ServingFabric:
             )
         return predictions
 
-    def drain(self) -> list[Prediction]:
-        """Force-score every pending window on every shard."""
+    def drain(self, *, deadline: Deadline | None = None) -> list[Prediction]:
+        """Force-score every pending window on every shard.
+
+        An optional :class:`~repro.resilience.Deadline` bounds the whole
+        drain: each shard's wait gets the remaining budget (capped by
+        ``call_timeout``), so one wedged worker cannot stall shutdown past
+        the budget — it is killed and recovered like any timed-out call.
+        """
+        for index in range(len(self._shards)):
+            self._admit(index)
         futures = [
             (index, shard.submit("drain")) for index, shard in enumerate(self._shards)
         ]
         predictions: list[Prediction] = []
         for index, future in futures:
-            predictions.extend(self._result(index, future, "drain", ()))
+            predictions.extend(
+                self._result(index, future, "drain", (), deadline=deadline)
+            )
         return predictions
 
     # ------------------------------------------------------------- hot swap
@@ -463,18 +718,22 @@ class ServingFabric:
         """The currently promoted model generation."""
         return self._shared.generation
 
-    def swap(self, engine, *, gate=None) -> SwapResult:
+    def swap(self, engine, *, gate=None, deadline: Deadline | None = None) -> SwapResult:
         """Blue/green hot swap to a new engine, optionally drift-gated.
 
         ``gate`` may be ``None`` (always promote), a
         :class:`~repro.serving.adaptation.DriftMonitor` (promote only when
         ``.drifted`` — roll a refreshed model in response to score-margin
         drift), or any callable returning truthiness.  On promotion the new
-        model is published as generation ``g+1``; each shard flushes its
+        model is published as generation ``g+1`` and its segment is
+        *verified against the manifest checksums parent-side* — a corrupted
+        publication is unlinked and declined (``promoted=False``) before
+        any worker is asked to attach it.  Each shard then flushes its
         pending windows on the old engine (those predictions are returned),
         switches, and drops its old mapping; the old segment is unlinked
         only after every shard has acknowledged.  A declined gate leaves
-        the fabric untouched.
+        the fabric untouched.  ``deadline`` bounds the shard walk the same
+        way it bounds :meth:`drain`.
         """
         if gate is not None:
             drifted = getattr(gate, "drifted", None)
@@ -488,10 +747,27 @@ class ServingFabric:
                     reason="gate declined promotion",
                 )
         incoming = publish_engine(engine, generation=self.generation + 1)
+        try:
+            verify_manifest(incoming.manifest)
+        except IntegrityError as error:
+            incoming.unlink()
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_fabric_swaps_rejected_total",
+                    "Swap attempts declined because the incoming segment "
+                    "failed checksum verification.",
+                ).inc()
+            return SwapResult(
+                promoted=False,
+                generation=self.generation,
+                reason=f"integrity check failed: {error}",
+            )
         flushed: list[Prediction] = []
         try:
             for index in range(len(self._shards)):
-                flushed.extend(self._call(index, "swap", incoming.manifest))
+                flushed.extend(
+                    self._call(index, "swap", incoming.manifest, deadline=deadline)
+                )
         except BaseException:
             incoming.unlink()
             raise
@@ -579,5 +855,5 @@ class ServingFabric:
             f"ServingFabric(n_workers={self.n_workers}, serial={self.serial}, "
             f"generation={self.generation}, sessions={len(self._session_specs)}, "
             f"model_bytes={self.model_bytes}, swaps={self.swaps}, "
-            f"restarts={self.restarts})"
+            f"restarts={self.restarts}, timeouts={self.timeouts})"
         )

@@ -36,6 +36,8 @@ also be served through :meth:`load_compiled`.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
 import re
@@ -48,6 +50,7 @@ import numpy as np
 from ..core.boosthd import BoostHD
 from ..engine.compile import _shared_root, assemble_projection
 from ..obs import OBS
+from ..resilience.chaos import CHAOS
 from ..hdc.encoder import Encoder, NonlinearEncoder, SlicedEncoder
 from ..hdc.quantize import (
     SCHEME_BITS,
@@ -88,6 +91,25 @@ class RegistryError(RuntimeError):
     """Raised for unknown models/versions or unsupported model structure."""
 
 
+#: BLAKE2b digest size (bytes) of the archive checksum in ``meta.json``.
+_DIGEST_SIZE = 16
+
+
+def _fsync_path(path: Path | str) -> None:
+    """Flush one file or directory to stable storage.
+
+    Needed on both sides of the publication rename: the archive/manifest
+    bytes must be durable *before* the rename (or a crash publishes a
+    version whose contents never hit disk), and the parent directory entry
+    after it (or the rename itself can be lost).
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class ModelRecord:
     """Manifest of one stored version (the parsed ``meta.json``)."""
@@ -100,6 +122,8 @@ class ModelRecord:
     params: dict
     metadata: dict
     path: Path
+    #: BLAKE2b hex digest of ``model.npz`` (``None`` for pre-PR-9 artifacts).
+    checksum: str | None = None
 
 
 def _require_projection_root(encoder: Encoder) -> None:
@@ -197,6 +221,7 @@ class ModelRegistry:
             params=meta.get("params", {}),
             metadata=meta.get("metadata", {}),
             path=path,
+            checksum=meta.get("checksum"),
         )
 
     # ------------------------------------------------------------------ save
@@ -324,7 +349,9 @@ class ModelRegistry:
         staging_dir = self.root / name / f".staging-v{version}"
         staging_dir.mkdir(parents=True, exist_ok=False)
         try:
-            np.savez_compressed(staging_dir / "model.npz", **arrays)
+            archive_path = staging_dir / "model.npz"
+            np.savez_compressed(archive_path, **arrays)
+            _fsync_path(archive_path)
             manifest = {
                 "name": name,
                 "version": version,
@@ -333,11 +360,29 @@ class ModelRegistry:
                 "shared_projection": shared,
                 "params": params,
                 "metadata": metadata,
+                "checksum": hashlib.blake2b(
+                    archive_path.read_bytes(), digest_size=_DIGEST_SIZE
+                ).hexdigest(),
             }
             if learner_params is not None:
                 manifest["learner_params"] = learner_params
             (staging_dir / "meta.json").write_text(json.dumps(manifest, indent=2))
+            # Contents durable before publication, directory entries after:
+            # a crash can only ever leave a staging dir (invisible to
+            # versions()) or a fully-written version — never a half artifact
+            # under a version name.
+            _fsync_path(staging_dir / "meta.json")
+            _fsync_path(staging_dir)
+            if CHAOS.enabled:
+                fault = CHAOS.hit("registry.save", model=name, version=version)
+                if fault is not None and fault.kind == "torn":
+                    # Simulate a torn archive slipping through to publication
+                    # (e.g. silent media damage after the checksum was taken):
+                    # load-side verification must catch it.
+                    with open(archive_path, "r+b") as handle:
+                        handle.truncate(archive_path.stat().st_size // 2)
             os.rename(staging_dir, final_dir)
+            _fsync_path(self.root / name)
         except BaseException:
             for leftover in staging_dir.glob("*"):
                 leftover.unlink()
@@ -347,6 +392,28 @@ class ModelRegistry:
         return version
 
     # ------------------------------------------------------------------ load
+    def _open_archive(self, record: ModelRecord):
+        """Open one version's ``model.npz``, verified against its checksum.
+
+        Reads the archive bytes once, checks the BLAKE2b digest recorded in
+        the manifest (artifacts saved before checksums existed load
+        unverified), and serves ``np.load`` from the in-memory copy — the
+        bytes that passed verification are exactly the bytes deserialized,
+        with no window for the file to change in between.  A mismatch
+        raises :exc:`RegistryError`; a torn or corrupted artifact can never
+        silently become a serving model.
+        """
+        data = (record.path / "model.npz").read_bytes()
+        if record.checksum is not None:
+            digest = hashlib.blake2b(data, digest_size=_DIGEST_SIZE).hexdigest()
+            if digest != record.checksum:
+                raise RegistryError(
+                    f"model {record.name!r} v{record.version} failed checksum "
+                    f"verification (stored {record.checksum}, computed {digest}); "
+                    "the archive is torn or corrupted — refusing to load"
+                )
+        return np.load(io.BytesIO(data))
+
     def _archive_header(
         self, record: ModelRecord, archive
     ) -> tuple[NonlinearEncoder | None, int, np.ndarray, str, np.ndarray]:
@@ -492,7 +559,7 @@ class ModelRegistry:
     ) -> BoostHD | OnlineHD:
         record = self.describe(name, version)
         meta = json.loads((record.path / "meta.json").read_text())
-        with np.load(record.path / "model.npz") as archive:
+        with self._open_archive(record) as archive:
             shared_parent, n_learners, _, _, _ = self._archive_header(record, archive)
             params = record.params
             if record.kind == "onlinehd":
@@ -659,7 +726,7 @@ class ModelRegistry:
         from ..hdc.hypervector import pack_signs
 
         record = self.describe(name, version)
-        with np.load(record.path / "model.npz") as archive:
+        with self._open_archive(record) as archive:
             shared_parent, n_learners, alphas, aggregation, classes = (
                 self._archive_header(record, archive)
             )

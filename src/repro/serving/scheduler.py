@@ -27,7 +27,31 @@ batch stays queued with its original ``enqueued_at`` (so queue-wait
 accounting and ``max_wait`` ordering survive the retry), the failure is
 counted in :attr:`SchedulerStats.score_failures` (and the
 ``repro_scheduler_score_failures_total`` obs counter), and the exception
-propagates to the caller — windows are never silently dropped.
+propagates to the caller — windows are never silently dropped.  Retries
+are *bounded*: a window that has been part of more than ``max_retries``
+failed fused calls is moved to :attr:`MicroBatchScheduler.dead_letters`
+(counted in ``repro_scheduler_windows_dead_total``) instead of being
+re-queued forever — a deterministically failing scorer can no longer wedge
+the queue on one poisonous batch.
+
+Overload semantics (:mod:`repro.resilience` wiring, all opt-in):
+
+* ``max_pending`` bounds the admission queue.  When a submit would exceed
+  it, the *oldest* pending window is shed — delivered as an explicit
+  :data:`SHED` prediction (NaN scores, ``prediction.shed`` true, counted
+  in ``repro_scheduler_windows_shed_total``) on the next :meth:`pump` /
+  :meth:`flush`, never silently dropped.  Shedding oldest-first keeps the
+  freshest signal flowing when a consumer cannot keep up.
+* ``degradation`` attaches a
+  :class:`~repro.resilience.DegradationLadder`: when the oldest queued
+  window's wait approaches the ladder's deadline, batches are scored by
+  the packed-bipolar tier (predictions flagged ``degraded=True``) until
+  pressure clears.  With no ladder — or a ladder that never activates —
+  predictions are bit-identical to the historical scheduler.
+
+The accounting identity ``windows_submitted == windows_scored +
+windows_shed + windows_dead + pending`` holds at every quiescent point and
+is asserted by ``tests/test_resilience.py``.
 """
 
 from __future__ import annotations
@@ -41,8 +65,35 @@ import numpy as np
 
 from ..obs import OBS
 from ..obs.metrics import Counter, Histogram
+from ..resilience.chaos import CHAOS
 
-__all__ = ["Prediction", "SchedulerStats", "MicroBatchScheduler"]
+__all__ = [
+    "DeadLetter",
+    "MicroBatchScheduler",
+    "Prediction",
+    "SchedulerStats",
+    "SHED",
+]
+
+
+class _ShedLabel:
+    """Singleton sentinel label of shed predictions (reprs as ``SHED``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SHED"
+
+    def __reduce__(self):  # unpickles to the same singleton across processes
+        return (_shed_label, ())
+
+
+def _shed_label() -> "_ShedLabel":
+    return SHED
+
+
+#: The label carried by shed predictions — never a real class label.
+SHED = _ShedLabel()
 
 
 @dataclass(frozen=True, eq=False)
@@ -70,11 +121,17 @@ class Prediction:
     queue_seconds: float
     score_seconds: float
     batch_size: int
+    degraded: bool = False
 
     @property
     def latency_seconds(self) -> float:
         """End-to-end scheduler latency: queue wait plus fused-call time."""
         return self.queue_seconds + self.score_seconds
+
+    @property
+    def shed(self) -> bool:
+        """Whether this window was shed under overload instead of scored."""
+        return self.label is SHED
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Prediction):
@@ -87,6 +144,7 @@ class Prediction:
             and self.queue_seconds == other.queue_seconds
             and self.score_seconds == other.score_seconds
             and self.batch_size == other.batch_size
+            and self.degraded == other.degraded
         )
 
     def __hash__(self) -> int:
@@ -119,12 +177,30 @@ class SchedulerStats:
         self._batches = Counter()
         self._total_score_seconds = Counter()
         self._score_failures = Counter()
+        self._windows_submitted = Counter()
+        self._windows_shed = Counter()
+        self._windows_dead = Counter()
         self.latency_histogram = Histogram()
         self.latencies: deque[float] = deque(maxlen=int(latency_window))
 
     @property
     def windows_scored(self) -> int:
         return self._windows_scored.value
+
+    @property
+    def windows_submitted(self) -> int:
+        """Windows ever accepted by :meth:`MicroBatchScheduler.submit`."""
+        return self._windows_submitted.value
+
+    @property
+    def windows_shed(self) -> int:
+        """Windows shed under overload (delivered as :data:`SHED` predictions)."""
+        return self._windows_shed.value
+
+    @property
+    def windows_dead(self) -> int:
+        """Windows dead-lettered after exhausting their retry budget."""
+        return self._windows_dead.value
 
     @property
     def batches(self) -> int:
@@ -142,6 +218,18 @@ class SchedulerStats:
     def record_failure(self) -> None:
         """Account one failed fused call (the batch went back on the queue)."""
         self._score_failures.inc()
+
+    def record_submitted(self, count: int = 1) -> None:
+        """Account windows accepted into the admission queue."""
+        self._windows_submitted.inc(count)
+
+    def record_shed(self, count: int = 1) -> None:
+        """Account windows shed under overload."""
+        self._windows_shed.inc(count)
+
+    def record_dead(self, count: int = 1) -> None:
+        """Account windows dead-lettered after retry exhaustion."""
+        self._windows_dead.inc(count)
 
     def record_latency(self, seconds: float) -> None:
         """Account one window's end-to-end latency (queue wait + fused call)."""
@@ -171,18 +259,37 @@ class SchedulerStats:
             f"mean_batch={self.mean_batch_size:.1f}, "
             f"p50={self.latency_percentile(50) * 1e3:.2f}ms, "
             f"p99={self.latency_percentile(99) * 1e3:.2f}ms, "
-            f"failures={self.score_failures})"
+            f"failures={self.score_failures}, "
+            f"shed={self.windows_shed}, dead={self.windows_dead})"
         )
 
 
+@dataclass(frozen=True)
+class DeadLetter:
+    """A window removed from the queue after exhausting its retry budget.
+
+    Dead letters keep the original features, so an operator (or a test) can
+    replay them once the underlying scorer fault is fixed — removal from the
+    queue is explicit and fully accounted, never silent loss.
+    """
+
+    session_id: str
+    window_index: int
+    features: np.ndarray
+    enqueued_at: float
+    attempts: int
+    error: str
+
+
 class _PendingWindow:
-    __slots__ = ("session_id", "window_index", "features", "enqueued_at")
+    __slots__ = ("session_id", "window_index", "features", "enqueued_at", "attempts")
 
     def __init__(self, session_id, window_index, features, enqueued_at):
         self.session_id = session_id
         self.window_index = window_index
         self.features = features
         self.enqueued_at = enqueued_at
+        self.attempts = 0
 
 
 class MicroBatchScheduler:
@@ -201,6 +308,17 @@ class MicroBatchScheduler:
         released by :meth:`pump`.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    max_retries:
+        How many *failed* fused calls a window may be part of before it is
+        dead-lettered instead of re-queued (``None`` = retry forever, the
+        pre-PR-9 behaviour).  The default of 5 tolerates transient faults
+        while bounding the damage of a deterministically failing batch.
+    max_pending:
+        Admission-queue bound; a submit beyond it sheds the oldest pending
+        window as an explicit :data:`SHED` prediction (``None`` = unbounded).
+    degradation:
+        Optional :class:`~repro.resilience.DegradationLadder`; consulted per
+        batch to trade precision for latency under queue pressure.
     """
 
     def __init__(
@@ -210,11 +328,18 @@ class MicroBatchScheduler:
         max_batch: int = 64,
         max_wait: float = 0.010,
         clock: Callable[[], float] = time.perf_counter,
+        max_retries: int | None = 5,
+        max_pending: int | None = None,
+        degradation=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if max_retries is not None and max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0 or None, got {max_retries}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {max_pending}")
         if not hasattr(scorer, "decision_function") or not hasattr(scorer, "classes_"):
             raise TypeError(
                 f"{type(scorer).__name__} cannot score windows; expected an "
@@ -224,8 +349,13 @@ class MicroBatchScheduler:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
         self.clock = clock
+        self.max_retries = None if max_retries is None else int(max_retries)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.degradation = degradation
         self.stats = SchedulerStats()
+        self.dead_letters: list[DeadLetter] = []
         self._queue: list[_PendingWindow] = []
+        self._shed: list[Prediction] = []
         #: Cached (registry, *instruments) for the observed path, refreshed
         #: whenever the live registry changes (e.g. a new ``capture()``):
         #: instrument lookups cost ~1us each, far more than the batch's
@@ -248,7 +378,13 @@ class MicroBatchScheduler:
 
     # ------------------------------------------------------------- operation
     def submit(self, session_id: str, window_index: int, features: np.ndarray) -> None:
-        """Enqueue one ready window (e.g. a :class:`~repro.serving.ReadyWindow`)."""
+        """Enqueue one ready window (e.g. a :class:`~repro.serving.ReadyWindow`).
+
+        With ``max_pending`` set, an over-bound submit sheds the *oldest*
+        pending window into the shed buffer (delivered as a :data:`SHED`
+        prediction by the next :meth:`pump` / :meth:`flush`) — admission
+        never blocks and never silently drops.
+        """
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 1:
             raise ValueError(
@@ -257,15 +393,53 @@ class MicroBatchScheduler:
         self._queue.append(
             _PendingWindow(session_id, window_index, features, self.clock())
         )
+        self.stats.record_submitted()
+        if self.max_pending is not None:
+            while len(self._queue) > self.max_pending:
+                self._shed_window(self._queue.pop(0))
+
+    def _shed_window(self, pending: _PendingWindow) -> None:
+        scores = np.full(len(self.scorer.classes_), np.nan)
+        scores.setflags(write=False)
+        self._shed.append(
+            Prediction(
+                session_id=pending.session_id,
+                window_index=pending.window_index,
+                label=SHED,
+                scores=scores,
+                queue_seconds=self.clock() - pending.enqueued_at,
+                score_seconds=0.0,
+                batch_size=0,
+            )
+        )
+        self.stats.record_shed()
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_scheduler_windows_shed_total",
+                "Windows shed under overload (delivered as SHED predictions).",
+            ).inc()
+
+    def _take_shed(self) -> list[Prediction]:
+        if not self._shed:
+            return []
+        shed, self._shed = self._shed, []
+        return shed
 
     def _score_batch(self, batch: list[_PendingWindow]) -> list[Prediction]:
         released_at = self.clock()
+        scorer, degraded = self.scorer, False
+        if self.degradation is not None:
+            scorer, degraded = self.degradation.scorer_for(
+                released_at - batch[0].enqueued_at
+            )
+        if CHAOS.enabled:
+            CHAOS.hit("scheduler.score", batch=len(batch))
         features = np.stack([pending.features for pending in batch])
         with OBS.recorder.span("scheduler.batch", windows=len(batch)):
             start = self.clock()
-            scores = self.scorer.decision_function(features)
+            scores = scorer.decision_function(features)
             score_seconds = self.clock() - start
-        labels = self.scorer.classes_[np.argmax(scores, axis=1)]
+        labels = scorer.classes_[np.argmax(scores, axis=1)]
 
         predictions = []
         for row, pending in enumerate(batch):
@@ -282,6 +456,7 @@ class MicroBatchScheduler:
                 queue_seconds=released_at - pending.enqueued_at,
                 score_seconds=score_seconds,
                 batch_size=len(batch),
+                degraded=degraded,
             )
             predictions.append(prediction)
             self.stats.record_latency(prediction.latency_seconds)
@@ -335,36 +510,76 @@ class MicroBatchScheduler:
         On failure the batch stays queued (original ``enqueued_at`` intact,
         still at the head, so nothing reorders), the failure is counted, and
         the exception propagates — a raising scorer can never silently drop
-        windows (the pre-fix behaviour popped before scoring).
+        windows (the pre-fix behaviour popped before scoring).  Windows that
+        have now been part of more than ``max_retries`` failed calls are
+        moved to :attr:`dead_letters` instead of staying queued, so one
+        poisonous batch cannot wedge the scheduler forever.
         """
         batch = self._queue[: self.max_batch]
         try:
             predictions = self._score_batch(batch)
-        except Exception:
+        except Exception as error:
             self.stats.record_failure()
             if OBS.enabled:
                 OBS.metrics.counter(
                     "repro_scheduler_score_failures_total",
                     "Fused scoring calls that raised (windows re-queued).",
                 ).inc()
+            self._dead_letter_exhausted(batch, error)
             raise
         del self._queue[: len(batch)]
         return predictions
 
+    def _dead_letter_exhausted(self, batch: list[_PendingWindow], error) -> None:
+        """Charge one failed attempt to ``batch``; evict exhausted windows."""
+        for pending in batch:
+            pending.attempts += 1
+        if self.max_retries is None:
+            return
+        dead = [p for p in batch if p.attempts > self.max_retries]
+        if not dead:
+            return
+        self._queue[: len(batch)] = [
+            p for p in batch if p.attempts <= self.max_retries
+        ]
+        for pending in dead:
+            self.dead_letters.append(
+                DeadLetter(
+                    session_id=pending.session_id,
+                    window_index=pending.window_index,
+                    features=pending.features,
+                    enqueued_at=pending.enqueued_at,
+                    attempts=pending.attempts,
+                    error=repr(error),
+                )
+            )
+        self.stats.record_dead(len(dead))
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_scheduler_windows_dead_total",
+                "Windows dead-lettered after exhausting their retry budget.",
+            ).inc(len(dead))
+
     def flush(self) -> list[Prediction]:
-        """Score everything pending (in fused calls of at most ``max_batch``)."""
+        """Score everything pending (in fused calls of at most ``max_batch``).
+
+        Any buffered :data:`SHED` predictions are delivered first; if a fused
+        call raises they stay buffered for the next attempt — nothing drains
+        into a lost exception.
+        """
         predictions: list[Prediction] = []
         while self._queue:
             predictions.extend(self._release_one())
-        return predictions
+        return self._take_shed() + predictions
 
     def pump(self) -> list[Prediction]:
         """Release batches per the ``max_batch`` / ``max_wait`` policy.
 
         Call this from the service loop after submitting windows; it returns
-        immediately with no work when neither bound has been reached.
+        immediately with no work when neither bound has been reached (shed
+        predictions buffered by an over-bound submit are still delivered).
         """
         predictions: list[Prediction] = []
         while self.ready():
             predictions.extend(self._release_one())
-        return predictions
+        return self._take_shed() + predictions

@@ -56,6 +56,18 @@ class StreamingService:
         (subsequent feedback recompiles quantized).  An already-compiled
         engine must match — the service cannot requantize an engine without
         the source model.
+    max_retries, max_pending:
+        Scheduler bounds (see :class:`MicroBatchScheduler`): the retry
+        budget before a window is dead-lettered, and the admission-queue
+        bound beyond which the oldest window is shed as an explicit
+        :data:`~repro.serving.scheduler.SHED` prediction.
+    degrade_deadline:
+        Optional per-window latency target, seconds.  When set, the service
+        attaches a :class:`~repro.resilience.DegradationLadder` so batches
+        at risk of blowing the deadline are scored by the packed-bipolar
+        tier (predictions flagged ``degraded``) until pressure clears.
+        Requires a scorer with a cheaper tier (cascade, fixed-point or
+        float engine).
     """
 
     def __init__(
@@ -71,10 +83,19 @@ class StreamingService:
         max_wait: float = 0.010,
         transform=None,
         precision: str | None = None,
+        max_retries: int | None = 5,
+        max_pending: int | None = None,
+        degrade_deadline: float | None = None,
     ) -> None:
         scorer = self._apply_precision(scorer, precision)
+        self.degrade_deadline = degrade_deadline
         self.scheduler = MicroBatchScheduler(
-            scorer, max_batch=max_batch, max_wait=max_wait
+            scorer,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            max_retries=max_retries,
+            max_pending=max_pending,
+            degradation=self._build_ladder(scorer, degrade_deadline),
         )
         self.n_channels = int(n_channels)
         self.window_samples = int(window_samples)
@@ -83,6 +104,15 @@ class StreamingService:
         self.statistics = tuple(statistics)
         self.transform = transform
         self.sessions: dict[str, StreamSession] = {}
+
+    @staticmethod
+    def _build_ladder(scorer, deadline: float | None):
+        """A degradation ladder for ``scorer``, or ``None`` when unconfigured."""
+        if deadline is None:
+            return None
+        from ..resilience.degrade import DegradationLadder
+
+        return DegradationLadder(scorer, deadline=deadline)
 
     @staticmethod
     def _apply_precision(scorer, precision: str | None):
@@ -193,6 +223,7 @@ class StreamingService:
         scorer = self._apply_precision(scorer, precision)
         flushed = self.scheduler.flush()
         self.scheduler.scorer = scorer
+        self.scheduler.degradation = self._build_ladder(scorer, self.degrade_deadline)
         if OBS.enabled:
             OBS.metrics.counter(
                 "repro_serving_scorer_swaps_total",

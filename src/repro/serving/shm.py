@@ -19,18 +19,23 @@ hot-swap freely.
 Segment lifecycle
 -----------------
 * :func:`publish_engine` creates a segment named
-  ``repro_fabric_{pid}_{token}_g{generation}`` and returns a
+  ``repro_fabric_{pid}.{start_token}_{token}_g{generation}`` and returns a
   :class:`SharedModel` (the writer-side handle).  The *publisher* owns the
   segment: workers only ever attach and ``close()``; the publisher calls
   :meth:`SharedModel.unlink` when the generation is retired (blue/green
   swap) or the fabric shuts down.
-* :func:`attach_engine` maps an existing segment read-only and returns an
+* :func:`attach_engine` maps an existing segment read-only, verifies every
+  array against the per-array BLAKE2b digests recorded in the manifest
+  (refusing a corrupted segment with :exc:`IntegrityError` — a flipped bit
+  must never silently skew predictions), and returns an
   :class:`AttachedEngine` whose ``.engine`` scores directly over the shared
   buffers.  The handle keeps the mapping alive — drop all engine references
   before :meth:`AttachedEngine.close`.
 * :func:`cleanup_orphan_segments` reclaims segments whose publishing process
-  died without unlinking (the pid is embedded in the name precisely so a
-  restarted fabric can tell live segments from corpses).
+  died without unlinking.  The name embeds both the publisher pid *and* its
+  ``/proc`` start token, so a recycled pid (a new unrelated process that
+  happens to reuse a dead publisher's number) cannot keep a corpse segment
+  alive — the token distinguishes the two incarnations.
 
 Attach-side handles deregister from the stdlib ``resource_tracker`` —
 otherwise every worker's tracker would try to unlink the segment at exit,
@@ -39,6 +44,7 @@ destroying it while siblings still serve from it.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import secrets
 from dataclasses import dataclass, field
@@ -55,14 +61,17 @@ from ..engine.quant import (
     fixed_block_from_codes,
     packed_block_from_words,
 )
+from ..resilience.chaos import CHAOS, corrupt_bytes
 
 __all__ = [
     "AttachedEngine",
+    "IntegrityError",
     "SEGMENT_PREFIX",
     "SharedModel",
     "attach_engine",
     "cleanup_orphan_segments",
     "publish_engine",
+    "verify_manifest",
 ]
 
 #: Prefix of every fabric shared-memory segment; orphan cleanup scans for it.
@@ -73,6 +82,13 @@ SEGMENT_PREFIX = "repro_fabric_"
 _ALIGN = 64
 
 _SHM_DIR = "/dev/shm"
+
+#: BLAKE2b digest size (bytes) of the per-array checksums in a manifest.
+_DIGEST_SIZE = 16
+
+
+class IntegrityError(EngineError):
+    """A shared segment's contents do not match the manifest checksums."""
 
 
 def _untrack(shm: shared_memory.SharedMemory) -> None:
@@ -89,8 +105,32 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
+def _process_start_token(pid: int) -> str:
+    """The kernel start time of ``pid`` — a pid-incarnation fingerprint.
+
+    Field 22 of ``/proc/<pid>/stat`` (``starttime``, clock ticks since boot)
+    is fixed for the life of a process and differs between two processes
+    that recycle the same pid.  Returns ``""`` where procfs is unavailable
+    (cleanup then falls back to the liveness check alone).
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+    except OSError:
+        return ""
+    # comm may contain spaces/parens; everything after the closing paren is
+    # whitespace-separated, with starttime at index 19 of those fields.
+    fields = stat.rpartition(")")[2].split()
+    if len(fields) <= 19:  # pragma: no cover - malformed stat line
+        return ""
+    return fields[19]
+
+
 def _segment_name(generation: int) -> str:
-    return f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}_g{int(generation)}"
+    pid = os.getpid()
+    token = _process_start_token(pid)
+    head = f"{pid}.{token}" if token else f"{pid}"
+    return f"{SEGMENT_PREFIX}{head}_{secrets.token_hex(4)}_g{int(generation)}"
 
 
 def _pid_alive(pid: int) -> bool:
@@ -231,23 +271,36 @@ def publish_engine(
     try:
         for key, array in arrays:
             spec = specs[key]
+            contiguous = np.ascontiguousarray(array)
             view = np.ndarray(
                 spec["shape"],
                 dtype=np.dtype(spec["dtype"]),
                 buffer=shm.buf,
                 offset=spec["offset"],
             )
-            view[...] = np.ascontiguousarray(array)
+            view[...] = contiguous
+            # Checksum the source bytes, not the segment: if anything damages
+            # the segment between write and attach, verification must notice.
+            spec["blake2b"] = hashlib.blake2b(
+                contiguous.tobytes(), digest_size=_DIGEST_SIZE
+            ).hexdigest()
             del view
+        if CHAOS.enabled:
+            fault = CHAOS.hit("shm.publish", segment=segment, kind=kind)
+            if fault is not None and fault.kind == "corrupt":
+                corrupt_bytes(shm.buf, CHAOS.spec_rng(fault))
     except BaseException:
         shm.close()
         shm.unlink()
         raise
 
+    publisher_pid = os.getpid()
     manifest = {
         "segment": segment,
         "generation": int(generation),
         "kind": kind,
+        "publisher_pid": publisher_pid,
+        "publisher_token": _process_start_token(publisher_pid),
         "precision": getattr(engine, "precision", "float64"),
         "dtype": engine.dtype.str,
         "aggregation": engine.aggregation,
@@ -262,6 +315,50 @@ def publish_engine(
     return SharedModel(manifest=manifest, _shm=shm)
 
 
+# ---------------------------------------------------------------- integrity
+def _verify_arrays(manifest: dict, buf) -> None:
+    """Check every manifest array's bytes against its recorded digest.
+
+    Raises :exc:`IntegrityError` naming the damaged arrays.  Manifests
+    published before checksums existed (no ``blake2b`` entries) pass — there
+    is nothing to verify against.
+    """
+    damaged = []
+    for key, spec in manifest["arrays"].items():
+        expected = spec.get("blake2b")
+        if expected is None:
+            continue
+        nbytes = int(np.dtype(spec["dtype"]).itemsize * np.prod(spec["shape"] or (1,)))
+        start = spec["offset"]
+        digest = hashlib.blake2b(
+            bytes(buf[start : start + nbytes]), digest_size=_DIGEST_SIZE
+        ).hexdigest()
+        if digest != expected:
+            damaged.append(key)
+    if damaged:
+        raise IntegrityError(
+            f"segment {manifest['segment']!r} failed checksum verification; "
+            f"damaged arrays: {', '.join(sorted(damaged))} — refusing to "
+            "serve from a corrupted model"
+        )
+
+
+def verify_manifest(manifest: dict) -> None:
+    """Attach a published segment just long enough to verify its checksums.
+
+    The parent-side guard of the fabric's blue/green swap: a corrupted
+    incoming generation is rejected *before* any worker is asked to attach
+    it.  Raises :exc:`IntegrityError` on damage, ``FileNotFoundError`` if
+    the segment is gone.
+    """
+    shm = shared_memory.SharedMemory(name=manifest["segment"], create=False)
+    _untrack(shm)
+    try:
+        _verify_arrays(manifest, shm.buf)
+    finally:
+        shm.close()
+
+
 # ------------------------------------------------------------------- attach
 class AttachedEngine:
     """A scoring engine built as views over an attached shared segment.
@@ -271,15 +368,21 @@ class AttachedEngine:
     aliases the shared buffer (read-only), so the attach costs no model
     copy.  Call :meth:`close` only after dropping every reference to
     ``engine`` and to predictions' borrowed arrays.
+
+    With ``verify=True`` (the default) the mapping's bytes are checked
+    against the manifest's per-array BLAKE2b digests before the engine is
+    built; a mismatch raises :exc:`IntegrityError` and nothing attaches.
     """
 
-    def __init__(self, manifest: dict) -> None:
+    def __init__(self, manifest: dict, *, verify: bool = True) -> None:
         self.manifest = manifest
         self.generation = int(manifest["generation"])
         self.segment = manifest["segment"]
         self._shm = shared_memory.SharedMemory(name=self.segment, create=False)
         _untrack(self._shm)
         try:
+            if verify:
+                _verify_arrays(manifest, self._shm.buf)
             self.engine = self._build()
         except BaseException:
             self._shm.close()
@@ -361,20 +464,30 @@ class AttachedEngine:
         )
 
 
-def attach_engine(manifest: dict) -> AttachedEngine:
-    """Attach a published segment and rebuild its engine over shared buffers."""
-    return AttachedEngine(manifest)
+def attach_engine(manifest: dict, *, verify: bool = True) -> AttachedEngine:
+    """Attach a published segment and rebuild its engine over shared buffers.
+
+    Verifies the segment against the manifest checksums first (see
+    :class:`AttachedEngine`); pass ``verify=False`` only when the same
+    manifest was just verified through :func:`verify_manifest`.
+    """
+    return AttachedEngine(manifest, verify=verify)
 
 
 # ------------------------------------------------------------------ cleanup
 def cleanup_orphan_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
     """Unlink fabric segments whose publishing process is gone.
 
-    Scans the POSIX shm filesystem for ``{prefix}{pid}_...`` names, checks
-    whether the embedded publisher pid is still alive, and unlinks dead
-    publishers' segments.  Run at fabric startup so a crashed predecessor
-    cannot leak /dev/shm space indefinitely.  Returns the reclaimed names;
-    returns ``[]`` (touching nothing) where the shm filesystem is absent.
+    Scans the POSIX shm filesystem for ``{prefix}{pid}.{token}_...`` names
+    (and the older ``{prefix}{pid}_...`` form), checks whether the embedded
+    publisher pid is still alive — *and*, when a start token is present,
+    whether the live process is the same incarnation that published the
+    segment.  A recycled pid (new process, same number) therefore cannot
+    shield a dead publisher's segment from reclamation, and conversely a
+    live publisher can never lose a segment to cleanup: its token matches.
+    Run at fabric startup so a crashed predecessor cannot leak /dev/shm
+    space indefinitely.  Returns the reclaimed names; returns ``[]``
+    (touching nothing) where the shm filesystem is absent.
     """
     try:
         names = os.listdir(_SHM_DIR)
@@ -385,8 +498,11 @@ def cleanup_orphan_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
         if not entry.startswith(prefix):
             continue
         suffix = entry[len(prefix) :]
-        pid_text = suffix.split("_", 1)[0]
-        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+        pid_text, _, token = suffix.split("_", 1)[0].partition(".")
+        if not pid_text.isdigit():
+            continue
+        pid = int(pid_text)
+        if _pid_alive(pid) and (not token or _process_start_token(pid) == token):
             continue
         try:
             os.unlink(os.path.join(_SHM_DIR, entry))

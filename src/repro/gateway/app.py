@@ -1,0 +1,1239 @@
+"""The hardened asyncio network edge: :class:`Gateway`.
+
+One event loop coalesces any number of concurrent HTTP/1.1 and WebSocket
+clients into the in-process :class:`~repro.serving.StreamingService` (or a
+multi-process :class:`~repro.serving.ServingFabric`) behind it.  The
+gateway's job is *robustness at the edge* — everything the scheduler and
+fabric assume about their callers is enforced here:
+
+* **Admission control** — a per-client :class:`~repro.gateway.limits
+  .RateLimiter` token bucket plus a global
+  :class:`~repro.gateway.limits.ConcurrencyLimiter`.  Overload is refused
+  with explicit 429/503 + ``Retry-After``, never queued: queue growth at
+  the edge is exactly the silent latency collapse PR 9's shed machinery
+  exists to prevent.  Window-level pressure beyond the edge still flows
+  through the scheduler's ``max_pending`` bound and comes back as explicit
+  ``status="shed"`` predictions.
+* **Deadline propagation** — an ``x-repro-deadline-ms`` request header
+  becomes a :class:`~repro.resilience.Deadline` threaded through backend
+  calls: expired-before-work requests are refused with 504 (no window
+  accepted), and a request whose budget runs out *after* its windows were
+  accepted gets 504 with ``"accepted": true`` — the windows are still
+  scored and answered into the session mailbox, because an accepted window
+  is never silently dropped.
+* **Brownout** — the service's :class:`~repro.resilience.DegradationLadder`
+  keeps scoring under pressure at the packed tier; degraded predictions are
+  flagged on the wire and the readiness probe reports ``brownout``.
+* **Lifecycle** — liveness (``/healthz``) and readiness (``/readyz``, wired
+  to draining state, fabric circuit breakers and ladder state), and a
+  SIGTERM-triggered :meth:`Gateway.shutdown`: stop accepting, finish
+  in-flight requests, flush every pending window through the backend within
+  a drain deadline, deliver the results, then close — zero accepted-window
+  loss, enforced by ``benchmarks/bench_gateway.py``.
+
+Delivery model: predictions released by any backend call are routed
+*exactly once* into per-session mailboxes (HTTP sessions — drained by the
+next ``feed``/``score``/``predictions`` call) or live WebSocket queues
+(pushed as ``{"type": "prediction", ...}`` messages).  Predictions for
+sessions whose owner is gone land in the orphan mailbox — still accounted
+as answered, never lost.  The accounting identity mirrors the scheduler's:
+``windows_answered + windows_shed`` on the gateway equals scored + shed in
+the backend.
+
+The backend runs on a dedicated single-thread executor: the scheduler stays
+single-threaded (its design contract) while the event loop stays free to
+multiplex thousands of sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+import numpy as np
+
+from ..obs import OBS, prometheus_text
+from ..resilience import CircuitOpenError, Deadline, DeadlineExceeded, OPEN
+from ..resilience.chaos import CHAOS, corrupt_bytes
+from ..serving import ServingFabric, StreamingService
+from .http import (
+    BINARY,
+    CLOSE,
+    PING,
+    PONG,
+    TEXT,
+    ProtocolError,
+    Request,
+    encode_frame,
+    json_response,
+    read_frame,
+    read_request,
+    response_bytes,
+    websocket_accept,
+)
+from .limits import ConcurrencyLimiter, RateLimiter
+
+__all__ = ["DEADLINE_HEADER", "Gateway", "GatewayStats"]
+
+#: Request header carrying the client's end-to-end deadline, milliseconds.
+DEADLINE_HEADER = "x-repro-deadline-ms"
+#: Request header carrying an explicit client identity for rate limiting.
+CLIENT_HEADER = "x-repro-client"
+
+
+class GatewayStats:
+    """Plain-integer edge accounting (obs counters ride along when enabled).
+
+    ``windows_answered`` counts scored predictions delivered to a mailbox,
+    WebSocket queue or the orphan mailbox; ``windows_shed`` the explicit
+    SHED deliveries.  Together with the backend's scheduler stats they
+    close the no-silent-loss ledger the drain contract asserts.
+    """
+
+    FIELDS = (
+        "requests",
+        "windows_answered",
+        "windows_shed",
+        "rejected_rate_limited",
+        "rejected_saturated",
+        "rejected_draining",
+        "rejected_deadline",
+        "late_responses",
+        "protocol_errors",
+        "disconnects",
+        "handler_errors",
+        "ws_connections",
+        "ws_messages",
+        "dead_letters_replayed",
+    )
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+        self.drains = 0
+        self.drain_seconds = 0.0
+        self.drained_clean: bool | None = None
+
+    def bump(self, field: str, count: int = 1) -> None:
+        setattr(self, field, getattr(self, field) + count)
+        if OBS.enabled:
+            OBS.metrics.counter(
+                f"repro_gateway_{field}_total",
+                f"Gateway edge accounting: {field.replace('_', ' ')}.",
+            ).inc(count)
+
+    def as_dict(self) -> dict:
+        report = {field: getattr(self, field) for field in self.FIELDS}
+        report["drains"] = self.drains
+        report["drain_seconds"] = self.drain_seconds
+        report["drained_clean"] = self.drained_clean
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayStats(requests={self.requests}, "
+            f"answered={self.windows_answered}, shed={self.windows_shed}, "
+            f"rejected={self.rejected_rate_limited + self.rejected_saturated}, "
+            f"errors={self.protocol_errors + self.handler_errors})"
+        )
+
+
+class _WsRoute:
+    """Delivery route of a WebSocket-owned session: a live outbound queue."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue()
+
+
+class _ServiceBackend:
+    """Uniform backend facade over an in-process :class:`StreamingService`."""
+
+    kind = "service"
+
+    def __init__(self, service: StreamingService) -> None:
+        self.service = service
+        self.generation = 0
+        self.swaps = 0
+
+    def open(self, session_id: str, overrides: dict) -> None:
+        self.service.open_session(session_id, **overrides)
+
+    def close(self, session_id: str):
+        return self.service.close_session(session_id)
+
+    def push(self, session_id: str, samples: np.ndarray):
+        return self.service.push(session_id, samples)
+
+    def drain(self, deadline: Deadline | None = None):
+        return self.service.drain()
+
+    def swap(self, registry, name, version, precision, compile_options):
+        engine = registry.load_compiled(
+            name, version, precision=precision, **(compile_options or {})
+        )
+        flushed = self.service.swap_scorer(engine)
+        self.generation += 1
+        self.swaps += 1
+        return flushed
+
+    def sessions(self) -> tuple[str, ...]:
+        return tuple(self.service.sessions)
+
+    def stats(self) -> list[dict]:
+        stats = self.service.stats
+        return [
+            {
+                "windows_submitted": stats.windows_submitted,
+                "windows_scored": stats.windows_scored,
+                "windows_shed": stats.windows_shed,
+                "windows_dead": stats.windows_dead,
+                "pending": self.service.scheduler.pending,
+                "batches": stats.batches,
+                "score_failures": stats.score_failures,
+                "p50_ms": stats.latency_percentile(50) * 1e3,
+                "p99_ms": stats.latency_percentile(99) * 1e3,
+            }
+        ]
+
+    def ready_report(self) -> dict:
+        ladder = self.service.scheduler.degradation
+        return {
+            "brownout": bool(ladder.active) if ladder is not None else False,
+            "breakers": [],
+        }
+
+    def dead_letters(self) -> list:
+        return list(self.service.dead_letters)
+
+    def replay_dead_letters(self):
+        return self.service.replay_dead_letters()
+
+    def shutdown(self) -> None:
+        pass  # the service owns no processes; drain() already flushed
+
+
+class _FabricBackend:
+    """Uniform backend facade over a multi-process :class:`ServingFabric`."""
+
+    kind = "fabric"
+
+    def __init__(self, fabric: ServingFabric) -> None:
+        self.fabric = fabric
+
+    @property
+    def generation(self) -> int:
+        return self.fabric.generation
+
+    @property
+    def swaps(self) -> int:
+        return self.fabric.swaps
+
+    def open(self, session_id: str, overrides: dict) -> None:
+        self.fabric.open_session(session_id, **overrides)
+
+    def close(self, session_id: str) -> None:
+        self.fabric.close_session(session_id)
+
+    def push(self, session_id: str, samples: np.ndarray):
+        return self.fabric.push(session_id, samples)
+
+    def drain(self, deadline: Deadline | None = None):
+        return self.fabric.drain(deadline=deadline)
+
+    def swap(self, registry, name, version, precision, compile_options):
+        self.fabric.swap_from_registry(
+            registry, name, version, precision=precision, **(compile_options or {})
+        )
+        return []
+
+    def sessions(self) -> tuple[str, ...]:
+        return self.fabric.sessions
+
+    def stats(self) -> list[dict]:
+        return self.fabric.stats()
+
+    def ready_report(self) -> dict:
+        return {
+            "brownout": False,
+            "breakers": [breaker.state for breaker in self.fabric.breakers],
+        }
+
+    def dead_letters(self) -> list:
+        return []  # dead letters live inside worker processes
+
+    def replay_dead_letters(self):
+        raise NotImplementedError(
+            "dead-letter replay is not reachable through a fabric backend; "
+            "replay inside the worker or use a service backend"
+        )
+
+    def shutdown(self) -> None:
+        self.fabric.shutdown()
+
+
+def _wrap_backend(backend):
+    if isinstance(backend, StreamingService):
+        return _ServiceBackend(backend)
+    if isinstance(backend, ServingFabric):
+        return _FabricBackend(backend)
+    if isinstance(backend, (_ServiceBackend, _FabricBackend)):
+        return backend
+    raise TypeError(
+        f"cannot serve a {type(backend).__name__}; expected a "
+        "StreamingService or ServingFabric"
+    )
+
+
+class Gateway:
+    """Asyncio HTTP/1.1 + WebSocket front-end over a serving backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serving.StreamingService` (in-process) or
+        :class:`~repro.serving.ServingFabric` (multi-process).
+    host, port:
+        Bind address; ``port=0`` picks a free port (``gateway.port`` after
+        :meth:`start`).
+    rate, burst:
+        Per-client token-bucket admission (requests/s and burst size);
+        ``rate=None`` disables rate limiting.  Applies to every ``/v1``
+        request and WebSocket feed; health/readiness/metrics probes are
+        never rate limited.
+    max_concurrent:
+        Global in-flight HTTP request bound — beyond it requests get 503 +
+        ``Retry-After`` immediately.
+    max_clients:
+        Rate-limiter memory bound (LRU-evicted client buckets).
+    registry, registry_name:
+        Optional :class:`~repro.serving.ModelRegistry` (and default model
+        name) backing ``POST /v1/model/swap``.
+    drain_deadline:
+        Default SIGTERM/:meth:`shutdown` drain budget, seconds.
+    request_timeout:
+        Per-request header/body read budget, seconds — the slow-loris
+        bound; a stalled client gets 408 and its connection closed.
+    max_header_bytes, max_body_bytes:
+        Hard input bounds (431 / 413 beyond them).
+    clock:
+        Monotonic time source for the admission limiters (injectable for
+        deterministic tests).
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_concurrent: int = 256,
+        max_clients: int = 4096,
+        registry=None,
+        registry_name: str | None = None,
+        drain_deadline: float = 5.0,
+        request_timeout: float = 10.0,
+        max_header_bytes: int = 16_384,
+        max_body_bytes: int = 8_388_608,
+        clock=time.monotonic,
+    ) -> None:
+        self.backend = _wrap_backend(backend)
+        self.host = host
+        self.port = int(port)
+        self.registry = registry
+        self.registry_name = registry_name
+        self.drain_deadline = float(drain_deadline)
+        self.request_timeout = float(request_timeout)
+        self.max_header_bytes = int(max_header_bytes)
+        self.max_body_bytes = int(max_body_bytes)
+        self.rate_limiter = (
+            RateLimiter(rate, burst or max(1.0, rate), max_clients=max_clients, clock=clock)
+            if rate is not None
+            else None
+        )
+        self.concurrency = ConcurrencyLimiter(max_concurrent)
+        self.stats = GatewayStats()
+        self._routes: dict[str, object] = {}
+        self._orphans: deque[dict] = deque()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-backend"
+        )
+        self._draining = False
+        self._closed = False
+        self._handlers: set[asyncio.Task] = set()
+        self._active_requests = 0
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._ws_routes: set[_WsRoute] = set()
+        self._shutdown_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> "Gateway":
+        """Bind and start accepting connections (idempotent port discovery)."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=max(self.max_header_bytes, 65_536),
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger one graceful :meth:`shutdown` (drain)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_shutdown)
+
+    def request_shutdown(self) -> None:
+        """Schedule a graceful shutdown from sync context (signal handler)."""
+        if self._shutdown_task is None and self._loop is not None:
+            self._shutdown_task = self._loop.create_task(self.shutdown())
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` completes (SIGTERM-driven)."""
+        if self._server is None:
+            await self.start()
+        self.install_signal_handlers()
+        while not self._closed:
+            await asyncio.sleep(0.05)
+
+    async def shutdown(self, deadline_seconds: float | None = None) -> dict:
+        """Graceful drain: stop accepting, flush in-flight, lose nothing.
+
+        1. mark draining (readiness flips to 503) and close the listener;
+        2. wait for in-flight HTTP handlers within the budget;
+        3. flush every pending window through the backend (the fabric drain
+           gets the remaining :class:`~repro.resilience.Deadline`, so one
+           wedged worker cannot stall shutdown past it) and deliver the
+           predictions;
+        4. give WebSocket clients until the budget to receive their queued
+           predictions, then close 1001 (going away);
+        5. stop the backend and the executor.
+
+        Returns a report; ``stats.drained_clean`` records whether every
+        step finished inside the deadline.  Idempotent — concurrent calls
+        await the same drain.
+        """
+        if self._shutdown_task is not None and self._shutdown_task is not asyncio.current_task():
+            return await asyncio.shield(self._shutdown_task)
+        started = time.monotonic()
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        deadline = Deadline(
+            self.drain_deadline if deadline_seconds is None else deadline_seconds
+        )
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        # In-flight requests (not idle keep-alive connections): wait, but
+        # never past the budget.
+        while self._active_requests > 0 and not deadline.expired:
+            await asyncio.sleep(0.005)
+
+        flushed = 0
+        try:
+            predictions = await asyncio.wait_for(
+                self._loop.run_in_executor(
+                    self._pool, partial(self.backend.drain, deadline)
+                ),
+                timeout=None if deadline.budget() is None else deadline.budget() + 0.25,
+            )
+            self._deliver(predictions)
+            flushed = len(predictions)
+        except Exception:
+            self.stats.bump("handler_errors")
+
+        # WebSocket clients: let queued predictions flush, then say goodbye.
+        for route in list(self._ws_routes):
+            while not route.queue.empty() and not deadline.expired:
+                await asyncio.sleep(0.005)
+            route.queue.put_nowait(None)  # sender sends close frame and exits
+        waited = time.monotonic()
+        while self._ws_routes and time.monotonic() - waited < max(
+            0.0, deadline.remaining()
+        ):
+            await asyncio.sleep(0.005)
+
+        for writer in list(self._connections):
+            writer.close()
+        # Reap connection handlers: closed sockets end them promptly; cancel
+        # stragglers so no task outlives the drain.
+        if self._handlers:
+            _, pending = await asyncio.wait(set(self._handlers), timeout=0.25)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=0.25)
+        self.backend.shutdown()
+        self._pool.shutdown(wait=False)
+        self._closed = True
+        elapsed = time.monotonic() - started
+        self.stats.drains += 1
+        self.stats.drain_seconds = elapsed
+        self.stats.drained_clean = not deadline.expired
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_gateway_drains_total", "Graceful gateway drains completed."
+            ).inc()
+            OBS.metrics.histogram(
+                "repro_gateway_drain_seconds", "Graceful drain duration."
+            ).observe(elapsed)
+        return {
+            "drained": True,
+            "clean": self.stats.drained_clean,
+            "seconds": elapsed,
+            "flushed_predictions": flushed,
+            "undelivered": self.pending_undelivered(),
+        }
+
+    def pending_undelivered(self) -> int:
+        """Predictions answered into mailboxes that no client has fetched.
+
+        After a drain this is the count of answered-but-unfetched windows
+        (HTTP mailboxes + orphans) — they were *answered*, their owners just
+        never came back for them; the drain-safety ledger counts them.
+        """
+        count = len(self._orphans)
+        for route in self._routes.values():
+            if isinstance(route, deque):
+                count += len(route)
+        return count
+
+    # -------------------------------------------------------------- delivery
+    def _deliver(self, predictions) -> None:
+        """Route released predictions to their owners — exactly once each."""
+        if not predictions:
+            return
+        answered = shed = 0
+        for prediction in predictions:
+            wire = prediction.to_wire()
+            if prediction.shed:
+                shed += 1
+            else:
+                answered += 1
+            route = self._routes.get(prediction.session_id)
+            if isinstance(route, _WsRoute):
+                route.queue.put_nowait({"type": "prediction", **wire})
+            elif isinstance(route, deque):
+                route.append(wire)
+            else:
+                self._orphans.append(wire)
+        if answered:
+            self.stats.bump("windows_answered", answered)
+        if shed:
+            self.stats.bump("windows_shed", shed)
+
+    def _submit_backend(self, fn, *, deliver: bool = True) -> asyncio.Task:
+        """Run a backend call on the backend thread; deliver on completion.
+
+        Delivery happens in the done-callback — not in the awaiting handler
+        — so predictions are routed exactly once even when the handler has
+        timed out on its deadline or its client has disconnected.  Calls
+        whose result is not a prediction list (inspection endpoints) pass
+        ``deliver=False``.
+        """
+        task = asyncio.ensure_future(self._loop.run_in_executor(self._pool, fn))
+
+        def _on_done(done: asyncio.Task) -> None:
+            if done.cancelled():
+                return
+            error = done.exception()
+            if error is None and deliver:
+                result = done.result()
+                if isinstance(result, list):
+                    self._deliver(result)
+
+        task.add_done_callback(_on_done)
+        return task
+
+    async def _await_backend(self, task: asyncio.Task, deadline: Deadline | None):
+        """Await a backend task under the request deadline.
+
+        Raises :class:`asyncio.TimeoutError` when the budget runs out first;
+        the shielded task keeps running and still delivers its predictions.
+        """
+        if deadline is None or deadline.budget() is None:
+            return await asyncio.shield(task)
+        return await asyncio.wait_for(asyncio.shield(task), timeout=deadline.budget())
+
+    def _drain_mailbox(self, session_id: str) -> list[dict]:
+        route = self._routes.get(session_id)
+        if not isinstance(route, deque):
+            return []
+        drained = list(route)
+        route.clear()
+        return drained
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        self._connections.add(writer)
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            await self._connection_loop(reader, writer, peer_host)
+        except asyncio.CancelledError:
+            # Torn down by shutdown (or loop close): exit cleanly so the
+            # streams-protocol callback never sees a cancelled task.
+            self.stats.bump("disconnects")
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            self.stats.bump("disconnects")
+        except Exception:
+            self.stats.bump("handler_errors")
+        finally:
+            self._handlers.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _connection_loop(self, reader, writer, peer_host: str) -> None:
+        while True:
+            if CHAOS.enabled:
+                # Injected in a worker thread so a `delay` fault models a
+                # stalled read without freezing the whole event loop.
+                await self._loop.run_in_executor(
+                    None,
+                    partial(
+                        CHAOS.hit, "gateway.read", transport="http", client=peer_host
+                    ),
+                )
+            try:
+                request = await asyncio.wait_for(
+                    read_request(
+                        reader,
+                        max_header_bytes=self.max_header_bytes,
+                        max_body_bytes=self.max_body_bytes,
+                    ),
+                    timeout=self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                self.stats.bump("disconnects")
+                writer.write(
+                    json_response(408, {"error": "request read timed out"}, close=True)
+                )
+                await writer.drain()
+                return
+            except ProtocolError as error:
+                self.stats.bump("protocol_errors")
+                writer.write(
+                    json_response(error.status, {"error": str(error)}, close=True)
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return  # clean keep-alive EOF
+            client = request.header(CLIENT_HEADER, peer_host)
+            if request.wants_websocket:
+                await self._handle_websocket(request, reader, writer, client)
+                return
+            close = not request.keep_alive
+            self._active_requests += 1
+            try:
+                response = await self._handle_request(request, client)
+            finally:
+                self._active_requests -= 1
+            if close:
+                response = response.replace(
+                    b"Connection: keep-alive", b"Connection: close", 1
+                )
+            writer.write(response)
+            await writer.drain()
+            if close:
+                return
+
+    # --------------------------------------------------------------- routing
+    async def _handle_request(self, request: Request, client: str) -> bytes:
+        self.stats.bump("requests")
+        started = time.perf_counter()
+        try:
+            response = await self._admit_and_dispatch(request, client)
+        except ProtocolError as error:
+            self.stats.bump("protocol_errors")
+            response = json_response(error.status, {"error": str(error)})
+        except DeadlineExceeded as error:
+            self.stats.bump("rejected_deadline")
+            response = json_response(504, {"error": str(error), "accepted": False})
+        except CircuitOpenError as error:
+            response = json_response(
+                503,
+                {"error": str(error)},
+                headers={"Retry-After": f"{max(error.retry_in, 0.05):.3f}"},
+            )
+        except NotImplementedError as error:
+            response = json_response(501, {"error": str(error)})
+        except Exception as error:
+            self.stats.bump("handler_errors")
+            response = json_response(
+                500, {"error": f"{type(error).__name__}: {error}"}
+            )
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "repro_gateway_request_seconds",
+                "End-to-end gateway request handling latency.",
+            ).observe(time.perf_counter() - started)
+        return response
+
+    async def _admit_and_dispatch(self, request: Request, client: str) -> bytes:
+        path, method = request.path, request.method
+        # Probes and telemetry bypass admission control entirely.
+        if path == "/healthz":
+            return json_response(200, {"status": "alive", "backend": self.backend.kind})
+        if path == "/readyz":
+            return self._readyz()
+        if path == "/metrics":
+            return self._metrics()
+        if self._draining:
+            self.stats.bump("rejected_draining")
+            return json_response(
+                503,
+                {"error": "gateway is draining", "draining": True},
+                headers={"Retry-After": "1"},
+            )
+        if self.rate_limiter is not None:
+            retry_after = self.rate_limiter.try_acquire(client)
+            if retry_after > 0.0:
+                self.stats.bump("rejected_rate_limited")
+                return json_response(
+                    429,
+                    {"error": "rate limit exceeded", "retry_after": retry_after},
+                    headers={"Retry-After": f"{retry_after:.3f}"},
+                )
+        if not self.concurrency.acquire():
+            self.stats.bump("rejected_saturated")
+            return json_response(
+                503,
+                {
+                    "error": "concurrency limit reached",
+                    "in_flight": self.concurrency.in_flight,
+                },
+                headers={"Retry-After": "0.050"},
+            )
+        try:
+            deadline = self._parse_deadline(request)
+            if deadline is not None and deadline.expired:
+                self.stats.bump("rejected_deadline")
+                return json_response(
+                    504, {"error": "deadline already expired", "accepted": False}
+                )
+            if CHAOS.enabled:
+                await self._loop.run_in_executor(
+                    None, partial(CHAOS.hit, "gateway.request", path=path)
+                )
+            return await self._dispatch(request, deadline)
+        finally:
+            self.concurrency.release()
+
+    async def _dispatch(self, request: Request, deadline: Deadline | None) -> bytes:
+        path, method = request.path, request.method
+        parts = [part for part in path.split("/") if part]
+        if parts[:1] != ["v1"]:
+            return json_response(404, {"error": f"no route {path!r}"})
+        rest = parts[1:]
+        if rest == ["sessions"]:
+            if method == "POST":
+                return await self._create_session(request)
+            if method == "GET":
+                return json_response(200, {"sessions": list(self.backend.sessions())})
+            return json_response(405, {"error": f"{method} not allowed on {path}"})
+        if len(rest) == 2 and rest[0] == "sessions":
+            if method == "DELETE":
+                return await self._close_session(rest[1])
+            return json_response(405, {"error": f"{method} not allowed on {path}"})
+        if len(rest) == 3 and rest[0] == "sessions":
+            session_id, action = rest[1], rest[2]
+            if action == "windows" and method == "POST":
+                return await self._feed(session_id, request, deadline)
+            if action == "score" and method == "POST":
+                return await self._score(session_id, deadline)
+            if action == "predictions" and method == "GET":
+                return json_response(
+                    200, {"predictions": self._drain_mailbox(session_id)}
+                )
+            return json_response(404, {"error": f"no route {path!r}"})
+        if rest == ["model"] and method == "GET":
+            return json_response(
+                200,
+                {
+                    "backend": self.backend.kind,
+                    "generation": self.backend.generation,
+                    "swaps": self.backend.swaps,
+                },
+            )
+        if rest == ["model", "swap"] and method == "POST":
+            return await self._swap(request)
+        if rest == ["dead-letters"] and method == "GET":
+            letters = await self._await_backend(
+                self._submit_backend(self.backend.dead_letters, deliver=False),
+                deadline,
+            )
+            return json_response(
+                200, {"dead_letters": [letter.to_wire() for letter in letters]}
+            )
+        if rest == ["dead-letters", "replay"] and method == "POST":
+            return await self._replay_dead_letters(deadline)
+        if rest == ["stats"] and method == "GET":
+            return json_response(
+                200,
+                {
+                    "gateway": self.stats.as_dict(),
+                    "backend": self.backend.stats(),
+                    "in_flight": self.concurrency.in_flight,
+                    "orphaned_predictions": len(self._orphans),
+                },
+            )
+        return json_response(404, {"error": f"no route {path!r}"})
+
+    # -------------------------------------------------------------- handlers
+    async def _create_session(self, request: Request) -> bytes:
+        body = request.json() or {}
+        if not isinstance(body, dict) or not body.get("session_id"):
+            raise ProtocolError("body must be a JSON object with a session_id")
+        session_id = str(body["session_id"])
+        overrides = {
+            key: value
+            for key, value in body.items()
+            if key not in ("session_id",)
+        }
+        try:
+            await self._await_backend(
+                self._submit_backend(
+                    partial(self.backend.open, session_id, overrides)
+                ),
+                None,
+            )
+        except ValueError as error:
+            return json_response(409, {"error": str(error)})
+        except TypeError as error:
+            return json_response(400, {"error": str(error)})
+        self._routes.setdefault(session_id, deque())
+        return json_response(201, {"session_id": session_id, "open": True})
+
+    async def _close_session(self, session_id: str) -> bytes:
+        try:
+            await self._await_backend(
+                self._submit_backend(partial(self.backend.close, session_id)), None
+            )
+        except KeyError:
+            return json_response(404, {"error": f"no open session {session_id!r}"})
+        leftover = self._drain_mailbox(session_id)
+        self._orphans.extend(leftover)
+        self._routes.pop(session_id, None)
+        return json_response(
+            200, {"session_id": session_id, "open": False, "orphaned": len(leftover)}
+        )
+
+    @staticmethod
+    def _parse_samples(body) -> np.ndarray:
+        if not isinstance(body, dict) or "samples" not in body:
+            raise ProtocolError("body must be a JSON object with a samples array")
+        try:
+            samples = np.asarray(body["samples"], dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"samples are not numeric: {error}") from None
+        if samples.ndim != 2:
+            raise ProtocolError(
+                f"samples must be 2-D (n_channels, n_samples), got ndim={samples.ndim}"
+            )
+        if not np.isfinite(samples).all():
+            raise ProtocolError("samples contain non-finite values")
+        return samples
+
+    async def _feed(
+        self, session_id: str, request: Request, deadline: Deadline | None
+    ) -> bytes:
+        samples = self._parse_samples(request.json())
+        if session_id not in self._routes and session_id not in self.backend.sessions():
+            return json_response(404, {"error": f"no open session {session_id!r}"})
+        if deadline is not None:
+            deadline.check("feed admission")
+        task = self._submit_backend(partial(self.backend.push, session_id, samples))
+        try:
+            await self._await_backend(task, deadline)
+        except asyncio.TimeoutError:
+            # The windows were accepted and WILL be answered (the shielded
+            # backend call continues and delivers into the mailbox); only
+            # this response is late.
+            self.stats.bump("late_responses")
+            return json_response(
+                504,
+                {
+                    "error": "deadline exceeded after admission",
+                    "accepted": True,
+                    "session_id": session_id,
+                },
+            )
+        except KeyError as error:
+            return json_response(404, {"error": str(error.args[0])})
+        return json_response(
+            200,
+            {
+                "session_id": session_id,
+                "predictions": self._drain_mailbox(session_id),
+            },
+        )
+
+    async def _score(self, session_id: str, deadline: Deadline | None) -> bytes:
+        if session_id not in self._routes and session_id not in self.backend.sessions():
+            return json_response(404, {"error": f"no open session {session_id!r}"})
+        task = self._submit_backend(partial(self.backend.drain, deadline))
+        try:
+            await self._await_backend(task, deadline)
+        except asyncio.TimeoutError:
+            self.stats.bump("late_responses")
+            return json_response(
+                504, {"error": "deadline exceeded during flush", "accepted": True}
+            )
+        return json_response(
+            200,
+            {"session_id": session_id, "predictions": self._drain_mailbox(session_id)},
+        )
+
+    async def _swap(self, request: Request) -> bytes:
+        if self.registry is None:
+            return json_response(
+                409, {"error": "gateway was started without a model registry"}
+            )
+        body = request.json() or {}
+        name = body.get("name", self.registry_name)
+        if not name:
+            raise ProtocolError("swap needs a model name (or a registry_name default)")
+        version = body.get("version")
+        precision = body.get("precision", "float64")
+        options = body.get("compile_options") or {}
+        try:
+            await self._await_backend(
+                self._submit_backend(
+                    partial(
+                        self.backend.swap,
+                        self.registry,
+                        name,
+                        version,
+                        precision,
+                        options,
+                    )
+                ),
+                None,
+            )
+        except (KeyError, FileNotFoundError) as error:
+            return json_response(404, {"error": str(error)})
+        return json_response(
+            200,
+            {
+                "swapped": True,
+                "name": name,
+                "version": version,
+                "precision": precision,
+                "generation": self.backend.generation,
+            },
+        )
+
+    async def _replay_dead_letters(self, deadline: Deadline | None) -> bytes:
+        result = await self._await_backend(
+            self._submit_backend(self.backend.replay_dead_letters), deadline
+        )
+        replayed, predictions = result
+        self._deliver(predictions)
+        if replayed:
+            self.stats.bump("dead_letters_replayed", replayed)
+        sessions = dict.fromkeys(p.session_id for p in predictions)
+        flat = [
+            wire
+            for session_id in sessions
+            for wire in self._drain_mailbox(session_id)
+        ]
+        return json_response(200, {"replayed": replayed, "predictions": flat})
+
+    def _readyz(self) -> bytes:
+        report = self.backend.ready_report()
+        breakers_open = [state for state in report["breakers"] if state == OPEN]
+        ready = not self._draining and not breakers_open
+        payload = {
+            "ready": ready,
+            "draining": self._draining,
+            "brownout": report["brownout"],
+            "breakers": report["breakers"],
+            "in_flight": self.concurrency.in_flight,
+            "saturation": self.concurrency.saturation,
+            "open_sessions": len(self.backend.sessions()),
+            "generation": self.backend.generation,
+        }
+        return json_response(200 if ready else 503, payload)
+
+    def _metrics(self) -> bytes:
+        if not OBS.enabled:
+            return json_response(
+                503, {"error": "observability disabled; enable with REPRO_OBS=1"}
+            )
+        text = prometheus_text(OBS.metrics.snapshot()).encode("utf-8")
+        return response_bytes(200, text, content_type="text/plain; version=0.0.4")
+
+    @staticmethod
+    def _parse_deadline(request: Request) -> Deadline | None:
+        raw = request.header(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            millis = float(raw)
+        except ValueError:
+            raise ProtocolError(f"malformed {DEADLINE_HEADER} header: {raw!r}") from None
+        if millis < 0:
+            raise ProtocolError(f"{DEADLINE_HEADER} must be >= 0, got {millis}")
+        return Deadline(millis / 1000.0)
+
+    # ------------------------------------------------------------- websocket
+    async def _handle_websocket(self, request, reader, writer, client: str) -> None:
+        key = request.header("sec-websocket-key")
+        if request.path != "/v1/stream" or key is None:
+            writer.write(
+                json_response(426, {"error": "websocket upgrade refused"}, close=True)
+            )
+            await writer.drain()
+            return
+        if self._draining:
+            self.stats.bump("rejected_draining")
+            writer.write(
+                json_response(
+                    503,
+                    {"error": "gateway is draining"},
+                    headers={"Retry-After": "1"},
+                    close=True,
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            response_bytes(
+                101,
+                headers={
+                    "Upgrade": "websocket",
+                    "Sec-WebSocket-Accept": websocket_accept(key),
+                },
+            ).replace(b"Connection: keep-alive", b"Connection: Upgrade", 1)
+        )
+        await writer.drain()
+        self.stats.bump("ws_connections")
+        route = _WsRoute()
+        self._ws_routes.add(route)
+        owned: set[str] = set()
+        sender = self._loop.create_task(self._ws_sender(writer, route.queue))
+        buffer = bytearray()
+        try:
+            await self._ws_loop(reader, route, owned, client, buffer)
+        except ProtocolError as error:
+            self.stats.bump("protocol_errors")
+            route.queue.put_nowait({"type": "error", "error": str(error)})
+            route.queue.put_nowait(None)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            self.stats.bump("disconnects")
+            route.queue.put_nowait(None)
+        else:
+            route.queue.put_nowait(None)
+        finally:
+            try:
+                await asyncio.wait_for(sender, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+                sender.cancel()
+            # A disconnected client's sessions close; their already-queued
+            # predictions are re-routed to the orphan mailbox (answered,
+            # never lost).
+            while not route.queue.empty():
+                message = route.queue.get_nowait()
+                if isinstance(message, dict) and message.get("type") == "prediction":
+                    self._orphans.append(
+                        {k: v for k, v in message.items() if k != "type"}
+                    )
+            self._ws_routes.discard(route)
+            for session_id in owned:
+                self._routes[session_id] = None  # future deliveries -> orphans
+                try:
+                    await asyncio.shield(
+                        self._submit_backend(partial(self.backend.close, session_id))
+                    )
+                except Exception:
+                    pass
+                self._routes.pop(session_id, None)
+
+    async def _ws_loop(self, reader, route, owned, client, buffer) -> None:
+        while True:
+            if CHAOS.enabled:
+                await self._loop.run_in_executor(
+                    None,
+                    partial(CHAOS.hit, "gateway.read", transport="ws", client=client),
+                )
+            frame = await read_frame(
+                reader, buffer, max_payload=self.max_body_bytes, require_mask=True
+            )
+            if frame is None or frame.opcode == CLOSE:
+                return
+            if frame.opcode == PING:
+                route.queue.put_nowait(("pong", frame.payload))
+                continue
+            if frame.opcode == PONG:
+                continue
+            if frame.opcode not in (TEXT, BINARY):
+                raise ProtocolError(f"unsupported opcode {frame.opcode}")
+            payload = frame.payload
+            if CHAOS.enabled:
+                spec = CHAOS.hit("gateway.frame", client=client)
+                if spec is not None and spec.kind == "corrupt":
+                    damaged = bytearray(payload)
+                    corrupt_bytes(damaged, CHAOS.spec_rng(spec))
+                    payload = bytes(damaged)
+            self.stats.bump("ws_messages")
+            self._active_requests += 1
+            try:
+                await self._handle_ws_message(payload, route, owned, client)
+            finally:
+                self._active_requests -= 1
+
+    async def _handle_ws_message(self, payload, route, owned, client) -> None:
+        try:
+            message = json.loads(payload)
+            if not isinstance(message, dict):
+                raise ValueError("message must be a JSON object")
+            op = message.get("op")
+        except (UnicodeDecodeError, ValueError) as error:
+            self.stats.bump("protocol_errors")
+            route.queue.put_nowait(
+                {"type": "error", "error": f"malformed message: {error}"}
+            )
+            return
+        try:
+            if op == "open":
+                session_id = str(message["session_id"])
+                overrides = message.get("overrides") or {}
+                await asyncio.shield(
+                    self._submit_backend(
+                        partial(self.backend.open, session_id, overrides)
+                    )
+                )
+                owned.add(session_id)
+                self._routes[session_id] = route
+                route.queue.put_nowait(
+                    {"type": "ack", "op": "open", "session_id": session_id}
+                )
+            elif op == "feed":
+                session_id = str(message["session_id"])
+                if self.rate_limiter is not None:
+                    retry_after = self.rate_limiter.try_acquire(client)
+                    if retry_after > 0.0:
+                        self.stats.bump("rejected_rate_limited")
+                        route.queue.put_nowait(
+                            {
+                                "type": "rejected",
+                                "op": "feed",
+                                "retry_after": retry_after,
+                            }
+                        )
+                        return
+                samples = self._parse_samples(message)
+                await asyncio.shield(
+                    self._submit_backend(
+                        partial(self.backend.push, session_id, samples)
+                    )
+                )
+                route.queue.put_nowait(
+                    {"type": "ack", "op": "feed", "session_id": session_id}
+                )
+            elif op == "score":
+                await asyncio.shield(
+                    self._submit_backend(partial(self.backend.drain, None))
+                )
+                route.queue.put_nowait({"type": "ack", "op": "score"})
+            elif op == "close":
+                session_id = str(message["session_id"])
+                await asyncio.shield(
+                    self._submit_backend(partial(self.backend.close, session_id))
+                )
+                owned.discard(session_id)
+                leftover = []
+                self._routes.pop(session_id, None)
+                route.queue.put_nowait(
+                    {
+                        "type": "ack",
+                        "op": "close",
+                        "session_id": session_id,
+                        "orphaned": len(leftover),
+                    }
+                )
+            else:
+                route.queue.put_nowait(
+                    {"type": "error", "error": f"unknown op {op!r}"}
+                )
+        except ProtocolError as error:
+            self.stats.bump("protocol_errors")
+            route.queue.put_nowait({"type": "error", "error": str(error)})
+        except KeyError as error:
+            route.queue.put_nowait({"type": "error", "error": f"missing {error}"})
+        except Exception as error:
+            self.stats.bump("handler_errors")
+            route.queue.put_nowait(
+                {"type": "error", "error": f"{type(error).__name__}: {error}"}
+            )
+
+    async def _ws_sender(self, writer, queue: asyncio.Queue) -> None:
+        """Serialize outbound messages for one WebSocket connection."""
+        try:
+            while True:
+                message = await queue.get()
+                if message is None:
+                    writer.write(encode_frame(CLOSE, (1001).to_bytes(2, "big")))
+                    await writer.drain()
+                    return
+                if isinstance(message, tuple) and message[0] == "pong":
+                    writer.write(encode_frame(PONG, message[1]))
+                else:
+                    writer.write(
+                        encode_frame(
+                            TEXT,
+                            json.dumps(message, allow_nan=False).encode("utf-8"),
+                        )
+                    )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.stats.bump("disconnects")
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway(backend={self.backend.kind}, address={self.address}, "
+            f"draining={self._draining}, {self.stats!r})"
+        )

@@ -1,0 +1,419 @@
+"""Minimal, hardened HTTP/1.1 + WebSocket wire protocol (stdlib only).
+
+The gateway deliberately avoids a framework dependency: tier-1 must stay
+hermetic (numpy + stdlib), and the subset of HTTP the serving edge needs is
+small — request line, headers, ``Content-Length`` bodies, keep-alive, and
+the RFC 6455 WebSocket upgrade + frame layer.  Everything here is split
+into *pure* byte-level functions (:func:`parse_request_head`,
+:func:`parse_frame`, :func:`encode_frame`, :func:`response_bytes`) plus
+thin asyncio stream adapters (:func:`read_request`, :func:`read_frame`), so
+the parsing logic is property-testable without sockets: malformed input
+must raise :class:`ProtocolError` — never any other exception, and never
+crash the server (``tests/test_gateway.py`` fuzzes this with hypothesis).
+
+Hard bounds everywhere: header block size, body size and frame payload
+size are capped by the caller, so a hostile client cannot balloon memory —
+over-bound input is a :class:`ProtocolError` (HTTP 431/413 or WebSocket
+close 1009 at the call site), not an allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "CLOSE",
+    "BINARY",
+    "CONTINUATION",
+    "Frame",
+    "PING",
+    "PONG",
+    "ProtocolError",
+    "Request",
+    "TEXT",
+    "STATUS_PHRASES",
+    "encode_frame",
+    "json_response",
+    "parse_frame",
+    "parse_request_head",
+    "read_frame",
+    "read_request",
+    "response_bytes",
+    "websocket_accept",
+]
+
+
+class ProtocolError(ValueError):
+    """Malformed or over-bound wire input; the connection must be refused.
+
+    ``status`` is the HTTP status an HTTP-level handler should answer with
+    (WebSocket-level call sites translate into a close code instead).
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+#: Response phrases for the statuses the gateway emits.
+STATUS_PHRASES = {
+    101: "Switching Protocols",
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_TOKEN = frozenset(
+    "!#$%&'*+-.^_`|~0123456789abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+)
+
+#: RFC 6455 magic GUID for the Sec-WebSocket-Accept digest.
+_WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes.
+CONTINUATION = 0x0
+TEXT = 0x1
+BINARY = 0x2
+CLOSE = 0x8
+PING = 0x9
+PONG = 0xA
+_CONTROL_OPCODES = frozenset((CLOSE, PING, PONG))
+_DATA_OPCODES = frozenset((CONTINUATION, TEXT, BINARY))
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request (head + body)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection", "keep-alive").lower() != "close"
+
+    @property
+    def wants_websocket(self) -> bool:
+        upgrade = self.header("upgrade", "")
+        connection = self.header("connection", "")
+        return (
+            upgrade.lower() == "websocket"
+            and "upgrade" in connection.lower()
+        )
+
+    def json(self):
+        """Parse the body as a JSON document (:class:`ProtocolError` on junk)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"invalid JSON body: {error}") from None
+
+
+def parse_request_head(head: bytes) -> tuple[str, str, dict]:
+    """Parse a request head (everything before the blank line) — pure.
+
+    Returns ``(method, target, headers)`` with header names lower-cased;
+    duplicate headers are comma-joined per RFC 9110.  Any structural
+    violation — bad request line, non-token method, malformed header,
+    embedded NUL/CR — raises :class:`ProtocolError`.
+    """
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("request head is not ASCII") from None
+    if "\x00" in text:
+        raise ProtocolError("NUL byte in request head")
+    lines = text.split("\r\n")
+    if not lines or not lines[0]:
+        raise ProtocolError("empty request line")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if not method or not all(ch in _TOKEN for ch in method):
+        raise ProtocolError(f"malformed method: {method!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(f"unsupported HTTP version: {version!r}")
+    if not target or " " in target:
+        raise ProtocolError(f"malformed request target: {target!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or not all(
+            ch in _TOKEN for ch in name
+        ):
+            raise ProtocolError(f"malformed header line: {line!r}")
+        key = name.lower()
+        value = value.strip()
+        if key in headers:
+            headers[key] = f"{headers[key]},{value}"
+        else:
+            headers[key] = value
+    return method.upper(), target, headers
+
+
+def _split_target(target: str) -> tuple[str, dict]:
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return path, query
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = 16_384,
+    max_body_bytes: int = 8_388_608,
+) -> Request | None:
+    """Read one request off the stream; ``None`` on clean EOF between requests.
+
+    The head is read with a hard byte bound (431 on overflow) and the body
+    strictly by ``Content-Length`` (413 over ``max_body_bytes``; chunked
+    transfer encoding is refused with 501 — the gateway's clients never
+    need it).  A connection torn mid-request raises
+    :class:`asyncio.IncompleteReadError` for the caller to treat as a
+    disconnect, not a protocol error.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF: the client finished its keep-alive run
+        raise
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large", status=431) from None
+    if len(head) > max_header_bytes:
+        raise ProtocolError("request head too large", status=431)
+    method, target, headers = parse_request_head(head[:-4])
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked transfer encoding unsupported", status=501)
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(
+                f"malformed Content-Length: {length_text!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"negative Content-Length: {length}")
+        if length > max_body_bytes:
+            raise ProtocolError("request body too large", status=413)
+        body = await reader.readexactly(length)
+    path, query = _split_target(target)
+    return Request(
+        method=method,
+        target=target,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict | None = None,
+    close: bool = False,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (always with ``Content-Length``)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append(f"Connection: {'close' if close else 'keep-alive'}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload,
+    *,
+    headers: dict | None = None,
+    close: bool = False,
+) -> bytes:
+    """A JSON response body (``allow_nan=False``: NaN must never hit the wire)."""
+    body = json.dumps(payload, allow_nan=False).encode("utf-8")
+    return response_bytes(status, body, headers=headers, close=close)
+
+
+# --------------------------------------------------------------- websockets
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` digest for a handshake key (RFC 6455)."""
+    digest = hashlib.sha1(key.strip().encode("ascii") + _WS_GUID).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed WebSocket frame (payload already unmasked)."""
+
+    opcode: int
+    payload: bytes
+    fin: bool = True
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode in _CONTROL_OPCODES
+
+
+def encode_frame(
+    opcode: int,
+    payload: bytes = b"",
+    *,
+    fin: bool = True,
+    mask: bytes | None = None,
+) -> bytes:
+    """Serialize one frame; ``mask`` (4 bytes) is required for client frames."""
+    if opcode not in _CONTROL_OPCODES and opcode not in _DATA_OPCODES:
+        raise ProtocolError(f"unknown opcode: {opcode}")
+    if opcode in _CONTROL_OPCODES and (len(payload) > 125 or not fin):
+        raise ProtocolError("control frames must be final with payload <= 125")
+    head = bytearray([(0x80 if fin else 0x00) | opcode])
+    mask_bit = 0x80 if mask is not None else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 65_536:
+        head.append(mask_bit | 126)
+        head += length.to_bytes(2, "big")
+    else:
+        head.append(mask_bit | 127)
+        head += length.to_bytes(8, "big")
+    if mask is None:
+        return bytes(head) + payload
+    if len(mask) != 4:
+        raise ProtocolError("mask must be exactly 4 bytes")
+    head += mask
+    return bytes(head) + _apply_mask(payload, mask)
+
+
+def _apply_mask(payload: bytes, mask: bytes) -> bytes:
+    if not payload:
+        return b""
+    repeated = (mask * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+def parse_frame(
+    data: bytes,
+    *,
+    max_payload: int = 8_388_608,
+    require_mask: bool = True,
+) -> tuple[Frame, int] | None:
+    """Parse one frame off ``data`` — pure and incremental.
+
+    Returns ``(frame, bytes_consumed)``, or ``None`` when ``data`` is a
+    valid but incomplete prefix.  Structural violations — reserved bits,
+    unknown opcodes, oversize/fragmented control frames, an unmasked client
+    frame when ``require_mask``, payloads over ``max_payload`` — raise
+    :class:`ProtocolError`; no input may raise anything else.
+    """
+    if len(data) < 2:
+        return None
+    first, second = data[0], data[1]
+    if first & 0x70:
+        raise ProtocolError("reserved frame bits set (no extension negotiated)")
+    opcode = first & 0x0F
+    if opcode not in _CONTROL_OPCODES and opcode not in _DATA_OPCODES:
+        raise ProtocolError(f"unknown opcode: {opcode}")
+    fin = bool(first & 0x80)
+    masked = bool(second & 0x80)
+    if require_mask and not masked:
+        raise ProtocolError("client frames must be masked")
+    length = second & 0x7F
+    offset = 2
+    if opcode in _CONTROL_OPCODES and (length > 125 or not fin):
+        raise ProtocolError("control frames must be final with payload <= 125")
+    if length == 126:
+        if len(data) < offset + 2:
+            return None
+        length = int.from_bytes(data[offset : offset + 2], "big")
+        offset += 2
+    elif length == 127:
+        if len(data) < offset + 8:
+            return None
+        length = int.from_bytes(data[offset : offset + 8], "big")
+        offset += 8
+        if length >= 2**63:
+            raise ProtocolError("frame length high bit set")
+    if length > max_payload:
+        raise ProtocolError("frame payload too large", status=413)
+    mask = b""
+    if masked:
+        if len(data) < offset + 4:
+            return None
+        mask = data[offset : offset + 4]
+        offset += 4
+    if len(data) < offset + length:
+        return None
+    payload = data[offset : offset + length]
+    if masked:
+        payload = _apply_mask(payload, mask)
+    return Frame(opcode=opcode, payload=payload, fin=fin), offset + length
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    buffer: bytearray,
+    *,
+    max_payload: int = 8_388_608,
+    require_mask: bool = True,
+) -> Frame | None:
+    """Read one complete frame, buffering partial reads in ``buffer``.
+
+    Returns ``None`` on clean EOF at a frame boundary; a connection torn
+    mid-frame raises :class:`asyncio.IncompleteReadError`.
+    """
+    while True:
+        parsed = parse_frame(
+            bytes(buffer), max_payload=max_payload, require_mask=require_mask
+        )
+        if parsed is not None:
+            frame, consumed = parsed
+            del buffer[:consumed]
+            return frame
+        chunk = await reader.read(65_536)
+        if not chunk:
+            if buffer:
+                raise asyncio.IncompleteReadError(bytes(buffer), None)
+            return None
+        buffer += chunk

@@ -56,6 +56,7 @@ is asserted by ``tests/test_resilience.py``.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -151,6 +152,42 @@ class Prediction:
         # Scores are excluded (ndarrays are unhashable); equal predictions
         # still hash equally because the identity fields participate.
         return hash((self.session_id, self.window_index, self.batch_size))
+
+    @property
+    def status(self) -> str:
+        """Explicit wire status: ``"shed"`` under overload, else ``"scored"``."""
+        return "shed" if self.shed else "scored"
+
+    def to_wire(self) -> dict:
+        """A strict-JSON-safe dict of this prediction for network transports.
+
+        SHED predictions carry NaN score rows and a sentinel label, which
+        ``json.dumps`` renders as bare ``NaN`` tokens — *invalid* JSON that
+        standards-compliant clients refuse to parse.  On the wire a shed
+        window is instead an explicit ``status="shed"`` with ``label`` and
+        ``scores`` null; scored windows get native Python numbers (numpy
+        scalars don't serialize) with any non-finite score element nulled.
+        The result always survives ``json.dumps(..., allow_nan=False)``.
+        """
+        if self.shed:
+            label, scores = None, None
+        else:
+            label = self.label.item() if hasattr(self.label, "item") else self.label
+            scores = [
+                float(value) if math.isfinite(value) else None
+                for value in self.scores.tolist()
+            ]
+        return {
+            "session_id": self.session_id,
+            "window_index": int(self.window_index),
+            "status": self.status,
+            "label": label,
+            "scores": scores,
+            "degraded": bool(self.degraded),
+            "queue_seconds": float(self.queue_seconds),
+            "score_seconds": float(self.score_seconds),
+            "batch_size": int(self.batch_size),
+        }
 
 
 class SchedulerStats:
@@ -279,6 +316,21 @@ class DeadLetter:
     enqueued_at: float
     attempts: int
     error: str
+
+    def to_wire(self) -> dict:
+        """Strict-JSON-safe identity/diagnostic fields (features stay local).
+
+        Features are deliberately omitted: they are the replay payload, not
+        an inspection field — :meth:`MicroBatchScheduler.replay_dead_letters`
+        is the supported way to act on them.
+        """
+        return {
+            "session_id": self.session_id,
+            "window_index": int(self.window_index),
+            "status": "dead",
+            "attempts": int(self.attempts),
+            "error": self.error,
+        }
 
 
 class _PendingWindow:
@@ -559,6 +611,28 @@ class MicroBatchScheduler:
                 "repro_scheduler_windows_dead_total",
                 "Windows dead-lettered after exhausting their retry budget.",
             ).inc(len(dead))
+
+    def replay_dead_letters(self) -> int:
+        """Re-submit every dead letter's preserved features; return the count.
+
+        The supported recovery path once the underlying scorer fault is
+        fixed: each :class:`DeadLetter` re-enters the admission queue as a
+        *fresh* submission (new ``enqueued_at``, retry budget reset, counted
+        again in ``windows_submitted`` — so the accounting identity
+        ``submitted == scored + shed + dead + pending`` keeps holding with
+        the dead count left as a permanent record of the original failure).
+        Replays pass through the normal ``max_pending`` admission bound, so
+        a mass replay under pressure sheds explicitly instead of flooding.
+        """
+        letters, self.dead_letters = self.dead_letters, []
+        for letter in letters:
+            self.submit(letter.session_id, letter.window_index, letter.features)
+        if letters and OBS.enabled:
+            OBS.metrics.counter(
+                "repro_scheduler_dead_letters_replayed_total",
+                "Dead-lettered windows re-submitted for scoring.",
+            ).inc(len(letters))
+        return len(letters)
 
     def flush(self) -> list[Prediction]:
         """Score everything pending (in fused calls of at most ``max_batch``).

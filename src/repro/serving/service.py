@@ -211,6 +211,32 @@ class StreamingService:
         """Force-score every pending window (end of tick / shutdown)."""
         return self.scheduler.flush()
 
+    @property
+    def dead_letters(self):
+        """Windows dead-lettered after exhausting their retry budget."""
+        return self.scheduler.dead_letters
+
+    def replay_dead_letters(self, *, flush: bool = True) -> tuple[int, list[Prediction]]:
+        """Re-submit every dead letter's preserved features for scoring.
+
+        The supported operator API over what used to be an internal detail
+        (``scheduler.dead_letters[...].features``): once the scorer fault
+        behind the dead-lettering is fixed, replaying re-enters each window
+        into the normal admission queue (fresh retry budget, subject to the
+        ``max_pending`` shed bound) and — with ``flush`` (the default) —
+        scores it immediately.  Returns ``(replayed_count, predictions)``;
+        with ``flush=False`` the windows ride along with the next regular
+        batch instead and the prediction list only carries whatever
+        :meth:`MicroBatchScheduler.pump` releases right away.  Replayed
+        windows are counted in ``repro_scheduler_dead_letters_replayed_total``.
+        """
+        replayed = self.scheduler.replay_dead_letters()
+        if replayed == 0:
+            return 0, []
+        if flush:
+            return replayed, self.scheduler.flush()
+        return replayed, self.scheduler.pump()
+
     def swap_scorer(self, scorer, *, precision: str | None = None) -> list[Prediction]:
         """Atomically replace the scorer, flushing pending windows first.
 

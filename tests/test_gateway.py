@@ -1,0 +1,768 @@
+"""Gateway edge tests: wire protocol properties, admission, lifecycle.
+
+Three layers, matching the package layout:
+
+* **hypothesis property suites** over the pure pieces — the token bucket
+  (the admitted rate can never exceed ``burst + elapsed * rate``, and the
+  bucket is a deterministic function of its call sequence under an
+  injected clock) and the HTTP/WebSocket parsers (encode/parse round-trip,
+  and *no* input may raise anything but :class:`ProtocolError`);
+* **end-to-end asyncio tests** against a real listening gateway — session
+  lifecycle, explicit 429/503/504 refusals, shed/dead-letter wire format
+  (strict JSON: no NaN ever), dead-letter replay, WebSocket streaming and
+  malformed-frame survival;
+* **lifecycle contracts** — graceful drain loses no accepted window, and
+  predictions served through the gateway are bit-identical to in-process
+  serving.
+
+Everything runs on the stdlib loop via ``asyncio.run`` (tier-1 stays
+hermetic; no async test plugin needed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway import (
+    Gateway,
+    GatewayClient,
+    GatewayWebSocket,
+    ProtocolError,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.gateway.http import (
+    BINARY,
+    TEXT,
+    encode_frame,
+    parse_frame,
+    parse_request_head,
+)
+from repro.gateway.limits import ConcurrencyLimiter
+from repro.resilience import FaultInjected, FaultPlan, FaultSpec, inject
+from repro.serving import MicroBatchScheduler, StreamingService
+
+pytestmark = pytest.mark.gateway
+
+N_CHANNELS = 4
+WINDOW = 32
+N_FEATURES = N_CHANNELS * 4  # min/max/mean/std per channel
+
+
+class StubScorer:
+    """Deterministic, instant scorer: gateway tests don't need a real model."""
+
+    classes_ = np.array([0, 1, 2])
+
+    def decision_function(self, X):
+        X = np.asarray(X)
+        return np.stack([X.sum(axis=1), X.mean(axis=1), X.max(axis=1)], axis=1)
+
+
+class FlakyScorer(StubScorer):
+    """Raises until ``healed`` — drives windows into the dead-letter queue."""
+
+    def __init__(self):
+        self.healed = False
+
+    def decision_function(self, X):
+        if not self.healed:
+            raise RuntimeError("scorer down")
+        return super().decision_function(X)
+
+
+def make_service(scorer=None, **overrides) -> StreamingService:
+    options = {
+        "n_channels": N_CHANNELS,
+        "window_samples": WINDOW,
+        "step_samples": WINDOW,
+        "smoothing_window": 1,
+        "max_batch": 4,
+        "max_wait": 1e9,  # release on full batches / flush only: deterministic
+    }
+    options.update(overrides)
+    return StreamingService(scorer or StubScorer(), **options)
+
+
+def chunk(n_windows: int = 1, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(N_CHANNELS, WINDOW * n_windows)).tolist()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_gateway(service=None, **kw) -> Gateway:
+    gateway = Gateway(service or make_service(), **kw)
+    await gateway.start()
+    return gateway
+
+
+# ---------------------------------------------------------------- token bucket
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+bucket_ops = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # clock advance
+        st.floats(min_value=0.1, max_value=4.0, allow_nan=False),  # tokens wanted
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    rate=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    burst=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    ops=bucket_ops,
+)
+def test_token_bucket_never_exceeds_rate(rate, burst, ops):
+    """Granted tokens over any prefix never exceed ``burst + elapsed*rate``."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock)
+    granted = 0.0
+    elapsed = 0.0
+    for advance, want in ops:
+        clock.advance(advance)
+        elapsed += advance
+        want = min(want, burst)
+        if bucket.try_acquire(want) == 0.0:
+            granted += want
+        assert granted <= burst + elapsed * rate + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rate=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    burst=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    ops=bucket_ops,
+)
+def test_token_bucket_deterministic_under_injected_clock(rate, burst, ops):
+    """Two buckets fed the identical op sequence agree exactly, call by call."""
+    first_clock, second_clock = FakeClock(), FakeClock()
+    first = TokenBucket(rate, burst, clock=first_clock)
+    second = TokenBucket(rate, burst, clock=second_clock)
+    for advance, want in ops:
+        first_clock.advance(advance)
+        second_clock.advance(advance)
+        want = min(want, burst)
+        assert first.try_acquire(want) == second.try_acquire(want)
+        assert first.tokens == second.tokens
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rate=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    burst=st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    drain=st.integers(min_value=1, max_value=40),
+)
+def test_token_bucket_retry_after_is_sufficient(rate, burst, drain):
+    """Waiting the advertised ``Retry-After`` always earns admission."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock)
+    for _ in range(drain):
+        if bucket.try_acquire(1.0) > 0.0:
+            break
+    retry_after = bucket.try_acquire(1.0)
+    if retry_after > 0.0:
+        clock.advance(retry_after + 1e-9)
+        assert bucket.try_acquire(1.0) == 0.0
+
+
+def test_rate_limiter_lru_eviction_is_bounded():
+    clock = FakeClock()
+    limiter = RateLimiter(10.0, 5.0, max_clients=4, clock=clock)
+    for index in range(10):
+        limiter.try_acquire(f"client-{index}")
+    assert len(limiter) == 4
+    assert limiter.evictions == 6
+
+
+def test_concurrency_limiter_rejects_never_queues():
+    limiter = ConcurrencyLimiter(2)
+    assert limiter.acquire() and limiter.acquire()
+    assert not limiter.acquire()
+    assert limiter.rejections == 1
+    limiter.release()
+    assert limiter.acquire()
+    assert limiter.high_watermark == 2
+    limiter.release()
+    limiter.release()
+    with pytest.raises(RuntimeError):
+        limiter.release()
+
+
+# ------------------------------------------------------------- parser properties
+header_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12
+).filter(lambda s: not s.startswith("-"))
+header_values = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E, exclude_characters=","),
+    min_size=0,
+    max_size=24,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    method=st.sampled_from(["GET", "POST", "DELETE", "PUT", "PATCH"]),
+    path=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789/-_", min_size=1, max_size=32
+    ),
+    headers=st.dictionaries(header_names, header_values, max_size=6),
+)
+def test_request_head_round_trip(method, path, headers):
+    target = "/" + path.lstrip("/")
+    lines = [f"{method} {target} HTTP/1.1"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = "\r\n".join(lines).encode("ascii")
+    parsed_method, parsed_target, parsed_headers = parse_request_head(head)
+    assert parsed_method == method
+    assert parsed_target == target
+    for name, value in headers.items():
+        assert parsed_headers[name.lower()] == value.strip()
+
+
+@settings(max_examples=200, deadline=None)
+@given(head=st.binary(max_size=256))
+def test_request_head_malformed_never_crashes(head):
+    """Arbitrary bytes: parse or ProtocolError — never any other exception."""
+    try:
+        method, target, headers = parse_request_head(head)
+    except ProtocolError:
+        return
+    assert isinstance(method, str) and isinstance(headers, dict)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    opcode=st.sampled_from([TEXT, BINARY]),
+    payload=st.binary(max_size=300),
+    masked=st.booleans(),
+    trailing=st.binary(max_size=8),
+)
+def test_ws_frame_round_trip(opcode, payload, masked, trailing):
+    mask = bytes([1, 2, 3, 4]) if masked else None
+    raw = encode_frame(opcode, payload, mask=mask)
+    frame, consumed = parse_frame(raw + trailing, require_mask=masked)
+    assert consumed == len(raw)
+    assert frame.opcode == opcode
+    assert frame.payload == payload
+    assert frame.fin
+    # every strict prefix is "incomplete", never an error
+    for cut in (1, len(raw) // 2, len(raw) - 1):
+        if 0 < cut < len(raw):
+            assert parse_frame(raw[:cut], require_mask=masked) is None
+
+
+@settings(max_examples=250, deadline=None)
+@given(data=st.binary(max_size=128))
+def test_ws_frame_malformed_never_crashes(data):
+    """Arbitrary bytes: a frame, incomplete, or ProtocolError — nothing else."""
+    try:
+        parsed = parse_frame(data, max_payload=1024)
+    except ProtocolError:
+        return
+    if parsed is not None:
+        frame, consumed = parsed
+        assert 0 < consumed <= len(data)
+        assert len(frame.payload) <= 1024
+
+
+def test_oversized_frame_is_rejected_not_allocated():
+    raw = encode_frame(BINARY, b"x" * 200, mask=bytes(4))
+    with pytest.raises(ProtocolError):
+        parse_frame(raw, max_payload=100)
+
+
+# ------------------------------------------------------------------ HTTP e2e
+def test_http_session_lifecycle_and_wire_format():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                status, _ = await client.open_session("s1")
+                assert status == 201
+                status, body = await client.open_session("s1")
+                assert status == 409  # duplicate
+                status, body = await client.feed("s1", chunk(4))
+                assert status == 200
+                predictions = body["predictions"]
+                assert len(predictions) == 4  # max_batch=4 released in-request
+                for wire in predictions:
+                    assert wire["status"] == "scored"
+                    assert wire["session_id"] == "s1"
+                    assert isinstance(wire["label"], int)
+                    assert all(isinstance(s, float) for s in wire["scores"])
+                status, body = await client.feed("nope", chunk(1))
+                assert status == 404
+                status, body = await client.close_session("s1")
+                assert status == 200
+                status, body = await client.close_session("s1")
+                assert status == 404
+        finally:
+            await gateway.shutdown(2.0)
+
+    run(scenario())
+
+
+def test_rate_limit_refuses_with_429_and_retry_after():
+    async def scenario():
+        clock = FakeClock()
+        gateway = await start_gateway(rate=1.0, burst=2, clock=clock)
+        try:
+            async with GatewayClient(
+                gateway.host, gateway.port, client_id="greedy"
+            ) as client:
+                codes = [(await client.open_session(f"s{i}"))[0] for i in range(4)]
+                assert codes[:2] == [201, 201]
+                assert codes[2:] == [429, 429]  # frozen clock: no refill
+                status, body = await client.request("GET", "/v1/sessions")
+                assert status == 429 and body["retry_after"] > 0.0
+                # a different client has its own bucket
+                async with GatewayClient(
+                    gateway.host, gateway.port, client_id="other"
+                ) as other:
+                    status, _ = await other.request("GET", "/v1/sessions")
+                    assert status == 200
+                # probes are never rate limited
+                assert (await client.healthz())[0] == 200
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.rejected_rate_limited >= 3
+
+    run(scenario())
+
+
+def test_concurrency_limit_refuses_with_503():
+    class SlowScorer(StubScorer):
+        def decision_function(self, X):
+            import time
+
+            time.sleep(0.15)
+            return super().decision_function(X)
+
+    async def scenario():
+        gateway = await start_gateway(
+            make_service(SlowScorer(), max_batch=1), max_concurrent=1
+        )
+        try:
+
+            async with GatewayClient(gateway.host, gateway.port) as opener:
+                for index in range(4):
+                    status, _ = await opener.open_session(f"c{index}")
+                    assert status == 201
+
+            async def one_feed(index):
+                async with GatewayClient(gateway.host, gateway.port) as client:
+                    status, _ = await client.feed(f"c{index}", chunk(1))
+                    return status
+
+            codes = await asyncio.gather(*(one_feed(i) for i in range(4)))
+            assert 200 in codes and 503 in codes
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.rejected_saturated >= 1
+
+    run(scenario())
+
+
+def test_expired_deadline_rejected_before_admission():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                await client.open_session("s1")
+                status, body = await client.feed("s1", chunk(1), deadline_ms=0)
+                assert status == 504
+                assert body["accepted"] is False
+                status, body = await client.request(
+                    "POST",
+                    "/v1/sessions/s1/windows",
+                    {"samples": chunk(1)},
+                    headers={"x-repro-deadline-ms": "banana"},
+                )
+                assert status == 400
+                # a generous deadline sails through
+                status, _ = await client.feed("s1", chunk(1), deadline_ms=30_000)
+                assert status == 200
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.rejected_deadline >= 1
+
+    run(scenario())
+
+
+def test_shed_predictions_serialize_as_strict_json():
+    """SHED sentinels (NaN scores in-process) must hit the wire as null."""
+
+    async def scenario():
+        gateway = await start_gateway(
+            make_service(max_batch=64, max_pending=2)
+        )
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                await client.open_session("s1")
+                _, feed_body = await client.feed("s1", chunk(6))
+                status, body = await client.score("s1")
+                assert status == 200
+                by_status = {"scored": 0, "shed": 0}
+                for wire in feed_body["predictions"] + body["predictions"]:
+                    by_status[wire["status"]] += 1
+                    if wire["status"] == "shed":
+                        assert wire["label"] is None
+                        assert wire["scores"] is None
+                    else:
+                        assert all(math.isfinite(s) for s in wire["scores"])
+                assert by_status["shed"] >= 1  # max_pending=2 forced shedding
+                assert by_status["scored"] >= 1
+                # the ledger closes: answered + shed == submitted
+                stats = (await client.stats())[1]["backend"][0]
+                assert (
+                    stats["windows_submitted"]
+                    == stats["windows_scored"] + stats["windows_shed"]
+                )
+        finally:
+            await gateway.shutdown(2.0)
+
+    run(scenario())
+
+
+def test_dead_letter_replay_endpoint():
+    async def scenario():
+        scorer = FlakyScorer()
+        gateway = await start_gateway(
+            make_service(scorer, max_batch=2, max_retries=0)
+        )
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                await client.open_session("s1")
+                status, body = await client.feed("s1", chunk(2))
+                assert status == 500  # scorer down; windows dead-lettered
+                status, body = await client.dead_letters()
+                assert status == 200
+                assert len(body["dead_letters"]) == 2
+                for wire in body["dead_letters"]:
+                    assert wire["status"] == "dead"
+                    assert wire["attempts"] >= 1
+                    assert "error" in wire
+                scorer.healed = True
+                status, body = await client.replay_dead_letters()
+                assert status == 200
+                assert body["replayed"] == 2
+                assert len(body["predictions"]) == 2
+                assert all(w["status"] == "scored" for w in body["predictions"])
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.dead_letters_replayed == 2
+
+    run(scenario())
+
+
+def test_malformed_http_gets_400_and_server_survives():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            reader, writer = await asyncio.open_connection(
+                gateway.host, gateway.port
+            )
+            writer.write(b"NOT A REQUEST\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"400" in head.split(b"\r\n", 1)[0]
+            writer.close()
+            # the listener is still healthy
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                assert (await client.healthz())[0] == 200
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.protocol_errors >= 1
+
+    run(scenario())
+
+
+# ------------------------------------------------------------------- WebSocket
+def test_websocket_stream_and_malformed_frame_survival():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            ws = await GatewayWebSocket.connect(gateway.host, gateway.port)
+            await ws.send({"op": "open", "session_id": "w1"})
+            ack = await ws.recv()
+            assert ack == {"type": "ack", "op": "open", "session_id": "w1"}
+            await ws.send({"op": "feed", "session_id": "w1", "samples": chunk(4)})
+            messages = [await ws.recv() for _ in range(5)]
+            predictions = [m for m in messages if m["type"] == "prediction"]
+            assert len(predictions) == 4
+            assert all(p["status"] == "scored" for p in predictions)
+            # malformed JSON in a valid frame: error message, socket stays up
+            await ws.send_raw(
+                encode_frame(TEXT, b"{not json", mask=bytes([9, 9, 9, 9]))
+            )
+            error = await ws.recv()
+            assert error["type"] == "error"
+            # an unmasked client frame is a protocol violation: server closes
+            await ws.send_raw(encode_frame(TEXT, b"{}"))
+            while True:
+                message = await ws.recv()
+                if message is None:
+                    break
+                assert message["type"] == "error"
+            await ws.close()
+            # and a fresh connection still works: one bad client, no crash
+            fresh = await GatewayWebSocket.connect(gateway.host, gateway.port)
+            await fresh.send({"op": "open", "session_id": "w2"})
+            assert (await fresh.recv())["type"] == "ack"
+            await fresh.close()
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.protocol_errors >= 1
+
+    run(scenario())
+
+
+def test_websocket_disconnect_orphans_predictions_not_loses_them():
+    async def scenario():
+        gateway = await start_gateway()
+        answered_before = 0
+        try:
+            ws = await GatewayWebSocket.connect(gateway.host, gateway.port)
+            await ws.send({"op": "open", "session_id": "w1"})
+            await ws.recv()
+            # two windows buffered (max_batch=4: nothing released yet)
+            await ws.send({"op": "feed", "session_id": "w1", "samples": chunk(2)})
+            await ws.recv()  # feed ack
+            answered_before = gateway.stats.windows_answered
+            # tear the connection down without a close handshake
+            ws._writer.close()
+            await asyncio.sleep(0.1)
+        finally:
+            report = await gateway.shutdown(2.0)
+        # drain flushed the two buffered windows; the owner is gone, so they
+        # were answered into the orphan mailbox — accounted, not lost
+        assert gateway.stats.windows_answered == answered_before + 2
+        assert report["undelivered"] == 2
+
+    run(scenario())
+
+
+# ------------------------------------------------------------------- lifecycle
+def test_graceful_drain_answers_every_accepted_window():
+    async def scenario():
+        gateway = await start_gateway(make_service(max_batch=16))
+        async with GatewayClient(gateway.host, gateway.port) as client:
+            await client.open_session("s1")
+            status, body = await client.feed("s1", chunk(5))
+            assert status == 200
+            assert body["predictions"] == []  # buffered: batch not full
+            report = await gateway.shutdown(2.0)
+            assert report["clean"] is True
+            assert report["flushed_predictions"] == 5
+            # after the drain, the listener is gone: new connections refuse
+            with pytest.raises((ConnectionError, asyncio.IncompleteReadError)):
+                await client.request("GET", "/v1/sessions")
+        service_stats = gateway.backend.stats()[0]
+        assert service_stats["windows_submitted"] == 5
+        assert service_stats["windows_scored"] == 5
+        assert service_stats["pending"] == 0
+        assert (
+            gateway.stats.windows_answered + gateway.stats.windows_shed
+            == service_stats["windows_scored"] + service_stats["windows_shed"]
+        )
+
+    run(scenario())
+
+
+def test_readyz_reflects_draining_state():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                status, body = await client.readyz()
+                assert status == 200
+                assert body["ready"] is True
+                assert body["draining"] is False
+                assert "brownout" in body and "breakers" in body
+                gateway._draining = True  # simulate: SIGTERM received
+                status, body = await client.readyz()
+                assert status == 503
+                assert body["draining"] is True
+                gateway._draining = False
+        finally:
+            await gateway.shutdown(2.0)
+
+    run(scenario())
+
+
+def test_gateway_predictions_bit_identical_to_in_process():
+    """The wire adds serialization, never numerics: scores match exactly."""
+
+    async def scenario():
+        streams = {
+            f"s{i}": chunk(6, seed=100 + i) for i in range(3)
+        }
+        # in-process reference: same scorer, same batching policy
+        reference = make_service()
+        collected: dict[tuple, list] = {}
+        for session_id in streams:
+            reference.open_session(session_id)
+        for session_id, samples in streams.items():
+            for prediction in reference.push(session_id, np.asarray(samples)):
+                collected[(prediction.session_id, prediction.window_index)] = [
+                    float(v) for v in prediction.scores.tolist()
+                ]
+        for prediction in reference.drain():
+            collected[(prediction.session_id, prediction.window_index)] = [
+                float(v) for v in prediction.scores.tolist()
+            ]
+
+        gateway = await start_gateway(make_service())
+        served: dict[tuple, list] = {}
+        try:
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                for session_id in streams:
+                    await client.open_session(session_id)
+                for session_id, samples in streams.items():
+                    _, body = await client.feed(session_id, samples)
+                    for wire in body["predictions"]:
+                        served[(wire["session_id"], wire["window_index"])] = wire[
+                            "scores"
+                        ]
+                for session_id in streams:
+                    _, body = await client.score(session_id)
+                    for wire in body["predictions"]:
+                        served[(wire["session_id"], wire["window_index"])] = wire[
+                            "scores"
+                        ]
+        finally:
+            await gateway.shutdown(2.0)
+        assert served.keys() == collected.keys()
+        for key, scores in collected.items():
+            assert served[key] == scores  # bit-identical: json floats round-trip
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------- chaos
+def test_chaos_gateway_request_fault_yields_500_not_crash():
+    async def scenario():
+        gateway = await start_gateway()
+        plan = FaultPlan(
+            seed=7,
+            faults=(FaultSpec(point="gateway.request", kind="exception", at=(1,)),),
+        )
+        try:
+            with inject(plan):
+                async with GatewayClient(gateway.host, gateway.port) as client:
+                    status, body = await client.open_session("s1")
+                    assert status == 500
+                    assert "chaos" in body["error"]
+                    # next hit doesn't match `at`: the edge recovered
+                    status, _ = await client.open_session("s1")
+                    assert status == 201
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.handler_errors >= 1
+
+    run(scenario())
+
+
+def test_chaos_frame_corruption_is_rejected_without_crash():
+    async def scenario():
+        gateway = await start_gateway()
+        plan = FaultPlan(
+            seed=3,
+            faults=(FaultSpec(point="gateway.frame", kind="corrupt", at=(1,)),),
+        )
+        try:
+            with inject(plan):
+                ws = await GatewayWebSocket.connect(gateway.host, gateway.port)
+                await ws.send({"op": "open", "session_id": "w1"})
+                first = await ws.recv()
+                # the corrupted payload must surface as an explicit error
+                # (or, improbably, still parse) — never kill the connection
+                assert first["type"] in ("error", "ack")
+                await ws.send({"op": "open", "session_id": "w2"})
+                second = await ws.recv()
+                assert second["type"] in ("ack", "error")
+                await ws.close()
+        finally:
+            await gateway.shutdown(2.0)
+
+    run(scenario())
+
+
+def test_slow_loris_client_is_bounded_by_request_timeout():
+    async def scenario():
+        gateway = await start_gateway(request_timeout=1.0)
+        try:
+            client = GatewayClient(
+                gateway.host, gateway.port, trickle=(8, 0.02)
+            )
+            # a trickled request that fits inside the budget still succeeds
+            status, _ = await client.healthz()
+            assert status == 200
+            await client.close()
+            # one that stalls forever is cut off with 408
+            reader, writer = await asyncio.open_connection(
+                gateway.host, gateway.port
+            )
+            writer.write(b"GET /healthz HT")  # ...and never finishes
+            await writer.drain()
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=2.0)
+            assert b"408" in head.split(b"\r\n", 1)[0]
+            writer.close()
+        finally:
+            await gateway.shutdown(2.0)
+
+    run(scenario())
+
+
+def test_mid_stream_disconnect_does_not_leak_or_crash():
+    async def scenario():
+        gateway = await start_gateway()
+        try:
+            aborter = GatewayClient(gateway.host, gateway.port)
+            await aborter.abort_mid_request()
+            await asyncio.sleep(0.05)
+            async with GatewayClient(gateway.host, gateway.port) as client:
+                assert (await client.healthz())[0] == 200
+        finally:
+            await gateway.shutdown(2.0)
+        assert gateway.stats.disconnects >= 1
+
+    run(scenario())
+
+
+def test_prediction_wire_is_strict_json():
+    """Every wire dict the gateway emits survives allow_nan=False dumps."""
+    scheduler = MicroBatchScheduler(
+        StubScorer(), max_batch=8, max_wait=1e9, max_pending=2
+    )
+    rng = np.random.default_rng(0)
+    for index in range(6):
+        scheduler.submit("s", index, rng.normal(size=N_FEATURES))
+    predictions = scheduler.flush()
+    assert any(p.shed for p in predictions)
+    for prediction in predictions:
+        text = json.dumps(prediction.to_wire(), allow_nan=False)
+        decoded = json.loads(text)
+        assert decoded["status"] == prediction.status
